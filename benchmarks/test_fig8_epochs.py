@@ -1,0 +1,52 @@
+"""Fig. 8 — reconstruction error vs. training epoch (train / validation / test).
+
+The paper trains for up to 1000 epochs and shows (a)-(d), one panel per
+dataset: the training error decreases towards zero, the validation error
+plateaus (and eventually creeps up from over-fitting), and the error of
+anomalous test segments stays clearly above both — which is what makes
+reconstruction error usable as an anomaly score.
+
+Expected shape here (fewer epochs, smaller model): training error decreases,
+and the final anomalous-segment error stays above the final training error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import common
+
+
+def run_experiment():
+    curves = {}
+    for name in common.DATASETS:
+        curves[name] = common.harness().epoch_effect(name)
+    rows = []
+    for name, history in curves.items():
+        rows.append(
+            [
+                name,
+                f"{history['train'][0]:.4f}",
+                f"{history['train'][-1]:.4f}",
+                f"{history['validation'][-1]:.4f}",
+                f"{history['test'][-1]:.4f}" if history["test"][-1] is not None else "n/a",
+                history["best_epoch"],
+            ]
+        )
+    common.table(
+        "fig8_epochs",
+        ["dataset", "train Re (first)", "train Re (last)", "valid Re (last)", "anomalous Re (last)", "best epoch"],
+        rows,
+        title="Fig. 8 — reconstruction error Re over training epochs",
+    )
+    return curves
+
+
+def test_fig8_epoch_effect(benchmark):
+    curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for name, history in curves.items():
+        train = np.asarray(history["train"], dtype=float)
+        assert train[-1] < train[0], f"training error must decrease on {name}"
+        final_test = history["test"][-1]
+        if final_test is not None and final_test == final_test:
+            assert final_test > train[-1], f"anomalous Re must exceed training Re on {name}"

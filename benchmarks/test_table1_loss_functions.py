@@ -1,0 +1,45 @@
+"""Table I — AUROC of CLSTM trained with L2 / KL / JS reconstruction losses.
+
+Paper reference values (AUROC %):
+
+==========  =====  =====  =====  =====
+method      INF    SPE    TED    TWI
+==========  =====  =====  =====  =====
+CLSTM+L2    76.44  60.06  62.90  72.21
+CLSTM+KL    78.12  62.31  67.78  75.26
+CLSTM+JS    79.88  64.53  69.05  77.40
+==========  =====  =====  =====  =====
+
+Expected shape on the simulated datasets: the JS-trained model matches or
+beats the KL- and L2-trained models on most datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import common
+
+
+def run_experiment():
+    results = common.harness().loss_function_comparison(dataset_names=list(common.DATASETS))
+    rows = [
+        [name] + [common.percent(values[dataset]) for dataset in common.DATASETS]
+        for name, values in results.items()
+    ]
+    common.table(
+        "table1_loss_functions",
+        ["method", *common.DATASETS],
+        rows,
+        title="Table I — AUROC (%) under different loss functions",
+    )
+    return results
+
+
+def test_table1_loss_functions(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    js_row = results["CLSTM+JS"]
+    l2_row = results["CLSTM+L2"]
+    # Shape check: JS training should not be systematically worse than L2.
+    deltas = [js_row[d] - l2_row[d] for d in common.DATASETS if js_row[d] == js_row[d]]
+    assert np.mean(deltas) > -0.05

@@ -1,0 +1,58 @@
+"""Section VI-C.6 — wall-clock cost of dynamic model maintenance.
+
+The paper reports the model-update time of the incremental strategy
+(174 s / 130 s / 144 s / 183 s for INF / SPE / TED / TWI) against full
+re-training (5.2 h / 2.4 h / 6.0 h / 20.5 h) — up to a 403x improvement.
+
+Expected shape here: the incremental updater's maintenance time is a small
+fraction of the re-training time on every dataset (absolute numbers are
+laptop-scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import common
+
+
+def run_experiment():
+    results = {}
+    for name in common.DATASETS:
+        payload = common.update_experiment(name)
+        results[name] = {
+            "incremental_seconds": payload["incremental"]["maintenance_seconds"],
+            "retraining_seconds": payload["retraining"]["maintenance_seconds"],
+        }
+    rows = []
+    for name, payload in results.items():
+        ratio = (
+            payload["retraining_seconds"] / payload["incremental_seconds"]
+            if payload["incremental_seconds"] > 0
+            else float("inf")
+        )
+        rows.append(
+            [
+                name,
+                f"{payload['incremental_seconds']:.2f}",
+                f"{payload['retraining_seconds']:.2f}",
+                f"{ratio:.1f}x",
+            ]
+        )
+    common.table(
+        "update_cost",
+        ["dataset", "incremental s", "re-training s", "speed-up"],
+        rows,
+        title="Sec. VI-C.6 — model maintenance cost, incremental vs re-training",
+    )
+    return results
+
+
+def test_update_cost(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    ratios = [
+        payload["incremental_seconds"] / payload["retraining_seconds"]
+        for payload in results.values()
+        if payload["retraining_seconds"] > 0
+    ]
+    assert np.median(ratios) < 1.0, "incremental maintenance must be cheaper than re-training"

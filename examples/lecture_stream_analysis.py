@@ -1,0 +1,71 @@
+"""E-learning scenario: anomaly detection over one-way lecture streams.
+
+SPE/TED-style streams differ from live commerce: the speaker does not follow
+the chat (one-way influence) and the audience is quieter, so the visual
+channel alone is even less informative.  This example compares three detectors
+on a simulated lecture stream:
+
+* LSTM   — action features only (no audience),
+* CLSTM-S — one-way coupling (speaker -> audience),
+* CLSTM  — full mutual coupling (the AOVLIS model).
+
+It prints per-method AUROC and the highlight moments each method would report
+to an e-learning analytics dashboard.
+
+Run with::
+
+    python examples/lecture_stream_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AOVLIS, FeaturePipeline, auroc, load_dataset
+from repro.core.variants import CLSTMSingleCouplingDetector, LSTMOnlyDetector
+from repro.utils.config import TrainingConfig
+
+
+def main() -> None:
+    spec = load_dataset("TED", base_train_seconds=360, base_test_seconds=240, seed=11)
+    print(f"Simulated lecture dataset -> {spec.description}")
+
+    pipeline = FeaturePipeline(action_dim=100, motion_channels=spec.profile.motion_channels, seed=11)
+    train = pipeline.extract(spec.train)
+    test = pipeline.extract(spec.test)
+
+    training = TrainingConfig(epochs=15, batch_size=32, checkpoint_every=5, seed=11)
+    methods = {
+        "LSTM (video only)": LSTMOnlyDetector(sequence_length=9, hidden_size=48, training=training),
+        "CLSTM-S (one-way)": CLSTMSingleCouplingDetector(
+            sequence_length=9, action_hidden=48, interaction_hidden=24, training=training
+        ),
+        "CLSTM (AOVLIS)": AOVLIS(
+            sequence_length=9, action_hidden=48, interaction_hidden=24, training=training
+        ),
+    }
+
+    print(f"\n{'method':22s} {'AUROC':>7s}   top highlight segments")
+    highlight_counts = {}
+    for name, method in methods.items():
+        method.fit(train)
+        scored = method.score_stream(test)
+        labels = scored.labels_from(test)
+        value = auroc(labels, scored.scores)
+        top = scored.segment_indices[np.argsort(scored.scores)[::-1][:5]]
+        highlight_counts[name] = top
+        print(f"{name:22s} {value:7.3f}   {', '.join(str(int(i)) for i in sorted(top))}")
+
+    print(
+        "\nSegments flagged by CLSTM but invisible to the video-only model are the\n"
+        "moments where the lecture content triggered an audience reaction without a\n"
+        "big visual change — exactly the anomalies the paper targets."
+    )
+    clstm_only = set(highlight_counts["CLSTM (AOVLIS)"].tolist()) - set(
+        highlight_counts["LSTM (video only)"].tolist()
+    )
+    print(f"CLSTM-only highlights: {sorted(int(i) for i in clstm_only)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in editable mode on minimal environments whose
+setuptools/pip cannot build PEP-660 editable wheels (e.g. offline boxes
+without the ``wheel`` package): ``pip install -e . --no-build-isolation
+--no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

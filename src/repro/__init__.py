@@ -1,0 +1,93 @@
+"""AOVLIS — Online Anomaly Detection over Live Social Video Streaming.
+
+A complete, dependency-light reproduction of the ICDE 2024 paper: simulated
+live social video streams, feature extraction (simulated ResNet50-I3D action
+features and audience-interaction features), the Coupling LSTM (CLSTM) model
+with REIA scoring, dynamic incremental model updates, ADG/ADOS detection
+optimisation, literature baselines and the full evaluation harness.
+
+Quick start::
+
+    from repro import AOVLIS, FeaturePipeline, load_dataset
+
+    spec = load_dataset("INF")
+    pipeline = FeaturePipeline(action_dim=100, motion_channels=spec.profile.motion_channels)
+    model = AOVLIS(pipeline=pipeline)
+    model.fit(pipeline.extract(spec.train))
+    result = model.detect(pipeline.extract(spec.test))
+    print(result.scores[:10], result.is_anomaly[:10])
+"""
+
+from .core import (
+    AOVLIS,
+    CLSTM,
+    AnomalyDetector,
+    CLSTMTrainer,
+    DetectionResult,
+    IncrementalUpdater,
+    LSTMOnlyDetector,
+    CLSTMSingleCouplingDetector,
+    ScoredStream,
+    StreamAnomalyDetector,
+    reia_score,
+)
+from .features import FeaturePipeline, StreamFeatures, SimulatedI3DExtractor
+from .streams import (
+    SocialStreamGenerator,
+    SocialVideoStream,
+    StreamProfile,
+    dataset_profile,
+    load_all_datasets,
+    load_dataset,
+)
+from .baselines import LTRDetector, RTFMDetector, VECDetector, all_detectors
+from .optimization import FilteredDetector, ADOSFilter
+from .evaluation import ExperimentHarness, ExperimentScale, auroc, roc_curve
+from .utils import (
+    DetectionConfig,
+    ModelConfig,
+    StreamProtocol,
+    TrainingConfig,
+    UpdateConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AOVLIS",
+    "CLSTM",
+    "AnomalyDetector",
+    "CLSTMTrainer",
+    "DetectionResult",
+    "IncrementalUpdater",
+    "LSTMOnlyDetector",
+    "CLSTMSingleCouplingDetector",
+    "ScoredStream",
+    "StreamAnomalyDetector",
+    "reia_score",
+    "FeaturePipeline",
+    "StreamFeatures",
+    "SimulatedI3DExtractor",
+    "SocialStreamGenerator",
+    "SocialVideoStream",
+    "StreamProfile",
+    "dataset_profile",
+    "load_all_datasets",
+    "load_dataset",
+    "LTRDetector",
+    "RTFMDetector",
+    "VECDetector",
+    "all_detectors",
+    "FilteredDetector",
+    "ADOSFilter",
+    "ExperimentHarness",
+    "ExperimentScale",
+    "auroc",
+    "roc_curve",
+    "DetectionConfig",
+    "ModelConfig",
+    "StreamProtocol",
+    "TrainingConfig",
+    "UpdateConfig",
+    "__version__",
+]

@@ -1,0 +1,110 @@
+"""LTR baseline — "Learning Temporal Regularity in Video Sequences".
+
+Hasan et al. (CVPR 2016) learn an autoencoder over short temporal windows of
+appearance/motion features; regular (normal) motion reconstructs with low
+error and anomalies with high error.  The reproduction keeps the method's
+essence on our feature substrate: a fully-connected autoencoder over a sliding
+window of consecutive action-recognition features, trained on normal segments
+only, scoring each segment by the reconstruction error of the window that ends
+at it.  Audience interaction is ignored — which is exactly the blind spot the
+paper exploits when comparing against it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..core.base import ScoredStream, StreamAnomalyDetector
+from ..features.pipeline import StreamFeatures
+from ..utils.config import TrainingConfig
+
+__all__ = ["LTRDetector"]
+
+
+class LTRDetector(StreamAnomalyDetector):
+    """Temporal-regularity autoencoder over action features."""
+
+    name = "LTR"
+
+    def __init__(
+        self,
+        window: int = 4,
+        bottleneck: int = 32,
+        hidden: int = 128,
+        training: TrainingConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.bottleneck = bottleneck
+        self.hidden = hidden
+        self.training = training if training is not None else TrainingConfig()
+        self.seed = seed
+        self._autoencoder: Optional[nn.MLP] = None
+        self._input_dim: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, features: StreamFeatures) -> "LTRDetector":
+        windows, window_labels, _ = self._windows(features)
+        normal_windows = windows[window_labels == 0]
+        if normal_windows.shape[0] == 0:
+            raise ValueError("no normal windows available for LTR training")
+        self._input_dim = normal_windows.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self._autoencoder = nn.MLP(
+            sizes=[self._input_dim, self.hidden, self.bottleneck, self.hidden, self._input_dim],
+            activation="relu",
+            rng=rng,
+        )
+        self._train(normal_windows)
+        return self
+
+    def score_stream(self, features: StreamFeatures) -> ScoredStream:
+        if self._autoencoder is None:
+            raise RuntimeError("fit() must be called before score_stream()")
+        windows, _, indices = self._windows(features)
+        if windows.shape[0] == 0:
+            return ScoredStream(segment_indices=np.zeros(0, dtype=np.int64), scores=np.zeros(0))
+        with nn.no_grad():
+            reconstruction = self._autoencoder(nn.Tensor(windows)).numpy()
+        errors = np.mean((reconstruction - windows) ** 2, axis=1)
+        return ScoredStream(segment_indices=indices, scores=errors)
+
+    # ------------------------------------------------------------------ #
+    def _windows(self, features: StreamFeatures) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stack ``window`` consecutive action features ending at each segment."""
+        action = features.action
+        labels = features.labels
+        count = action.shape[0] - self.window + 1
+        if count <= 0:
+            dim = action.shape[1] * self.window
+            return np.zeros((0, dim)), np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        windows = np.stack(
+            [action[i : i + self.window].reshape(-1) for i in range(count)], axis=0
+        )
+        indices = np.arange(self.window - 1, action.shape[0], dtype=np.int64)
+        window_labels = np.array(
+            [int(labels[i : i + self.window].any()) for i in range(count)], dtype=np.int64
+        )
+        return windows, window_labels, indices
+
+    def _train(self, windows: np.ndarray) -> None:
+        config = self.training
+        optimizer = nn.Adam(self._autoencoder.parameters(), lr=config.learning_rate)
+        rng = np.random.default_rng(config.seed)
+        data = nn.Tensor(windows)
+        for _ in range(config.epochs):
+            order = rng.permutation(windows.shape[0])
+            for start in range(0, windows.shape[0], config.batch_size):
+                indices = order[start : start + config.batch_size]
+                batch = nn.Tensor(windows[indices])
+                reconstruction = self._autoencoder(batch)
+                loss = nn.mse_loss(reconstruction, batch)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        del data

@@ -1,0 +1,119 @@
+"""VEC baseline — "Cloze Test Helps: Video Event Completion".
+
+Yu et al. (ACM MM 2020) train networks to complete erased patches/frames of a
+video event from its surrounding context; events whose erased part cannot be
+completed well are anomalies.  The reproduction keeps the cloze structure on
+the feature substrate: for a window of ``2 * context + 1`` consecutive
+segments, the centre segment's action feature is erased and an MLP infers it
+from the concatenated context features (both *past and future* segments —
+the bidirectional context the paper credits VEC/RTFM for).  The anomaly score
+of the centre segment is the Jensen–Shannon divergence between the inferred
+and true features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..core.base import ScoredStream, StreamAnomalyDetector
+from ..core.scoring import js_divergence
+from ..features.pipeline import StreamFeatures
+from ..utils.config import TrainingConfig
+
+__all__ = ["VECDetector"]
+
+
+class VECDetector(StreamAnomalyDetector):
+    """Cloze-style completion detector over action features."""
+
+    name = "VEC"
+
+    def __init__(
+        self,
+        context: int = 2,
+        hidden: int = 128,
+        training: TrainingConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if context < 1:
+            raise ValueError("context must be positive")
+        self.context = context
+        self.hidden = hidden
+        self.training = training if training is not None else TrainingConfig()
+        self.seed = seed
+        self._completion: Optional[nn.MLP] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, features: StreamFeatures) -> "VECDetector":
+        inputs, targets, labels, _ = self._cloze_pairs(features)
+        normal = labels == 0
+        if not np.any(normal):
+            raise ValueError("no normal cloze windows available for VEC training")
+        inputs, targets = inputs[normal], targets[normal]
+        rng = np.random.default_rng(self.seed)
+        self._completion = nn.MLP(
+            sizes=[inputs.shape[1], self.hidden, self.hidden, targets.shape[1]],
+            activation="relu",
+            output_activation="softmax",
+            rng=rng,
+        )
+        self._train(inputs, targets)
+        return self
+
+    def score_stream(self, features: StreamFeatures) -> ScoredStream:
+        if self._completion is None:
+            raise RuntimeError("fit() must be called before score_stream()")
+        inputs, targets, _, indices = self._cloze_pairs(features)
+        if inputs.shape[0] == 0:
+            return ScoredStream(segment_indices=np.zeros(0, dtype=np.int64), scores=np.zeros(0))
+        with nn.no_grad():
+            inferred = self._completion(nn.Tensor(inputs)).numpy()
+        scores = js_divergence(inferred, targets)
+        return ScoredStream(segment_indices=indices, scores=scores)
+
+    # ------------------------------------------------------------------ #
+    def _cloze_pairs(
+        self, features: StreamFeatures
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        action = features.action
+        labels = features.labels
+        total = action.shape[0]
+        window = 2 * self.context + 1
+        count = total - window + 1
+        if count <= 0:
+            dim = action.shape[1]
+            empty = np.zeros((0, dim * (window - 1)))
+            return empty, np.zeros((0, dim)), np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        inputs = []
+        targets = []
+        centre_indices = []
+        for start in range(count):
+            centre = start + self.context
+            context_indices = [start + offset for offset in range(window) if start + offset != centre]
+            inputs.append(action[context_indices].reshape(-1))
+            targets.append(action[centre])
+            centre_indices.append(centre)
+        centre_indices = np.array(centre_indices, dtype=np.int64)
+        return (
+            np.stack(inputs, axis=0),
+            np.stack(targets, axis=0),
+            labels[centre_indices],
+            centre_indices,
+        )
+
+    def _train(self, inputs: np.ndarray, targets: np.ndarray) -> None:
+        config = self.training
+        optimizer = nn.Adam(self._completion.parameters(), lr=config.learning_rate)
+        rng = np.random.default_rng(config.seed)
+        for _ in range(config.epochs):
+            order = rng.permutation(inputs.shape[0])
+            for start in range(0, inputs.shape[0], config.batch_size):
+                indices = order[start : start + config.batch_size]
+                prediction = self._completion(nn.Tensor(inputs[indices]))
+                loss = nn.js_divergence_loss(prediction, nn.Tensor(targets[indices]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()

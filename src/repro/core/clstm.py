@@ -1,0 +1,215 @@
+"""The Coupling LSTM (CLSTM) model with decoder layers.
+
+CLSTM (Section IV-B of the paper) consists of two recurrent layers advanced in
+lockstep over aligned sequences:
+
+* ``LSTM_I`` consumes the influencer action features ``f_t`` and produces
+  hidden states ``h_t``;
+* ``LSTM_A`` consumes the audience interaction features ``a_t`` and produces
+  hidden states ``g_t``;
+* every gate of ``LSTM_I`` reads ``[h_{t-1}, g_{t-1}, f_t]`` and every gate of
+  ``LSTM_A`` reads ``[h_{t-1}, g_{t-1}, a_t]`` — the mutual coupling;
+* after the last time step, decoder ``De_I`` maps ``h_t`` back to the action
+  feature space (through a softmax so the reconstruction stays a probability
+  distribution, as required by the JS reconstruction error) and ``De_A`` maps
+  ``g_t`` back to the interaction feature space (Eq. 12).
+
+The ``coupling`` argument selects between the full model and the paper's
+ablations:
+
+* ``"both"`` — CLSTM (two-way mutual influence, the paper's contribution);
+* ``"influencer_to_audience"`` — CLSTM-S (the audience layer sees the
+  influencer's hidden state but not vice versa);
+* ``"none"`` — two independent LSTMs (used for analysis; the pure LSTM
+  baseline over action features only lives in :mod:`repro.core.variants`).
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+__all__ = ["CLSTM", "CLSTMOutput", "CouplingMode"]
+
+CouplingMode = Literal["both", "influencer_to_audience", "none"]
+
+
+class CLSTMOutput:
+    """Output bundle of a CLSTM forward pass.
+
+    Attributes
+    ----------
+    action_reconstruction:
+        ``(N, d1)`` predicted/reconstructed action feature of the next segment.
+    interaction_reconstruction:
+        ``(N, d2)`` predicted/reconstructed interaction feature.
+    action_hidden:
+        ``(N, h1)`` final hidden state ``h_t`` of ``LSTM_I`` (the drift
+        detector of the dynamic-update algorithm reads this).
+    interaction_hidden:
+        ``(N, h2)`` final hidden state ``g_t`` of ``LSTM_A``.
+    """
+
+    __slots__ = (
+        "action_reconstruction",
+        "interaction_reconstruction",
+        "action_hidden",
+        "interaction_hidden",
+    )
+
+    def __init__(
+        self,
+        action_reconstruction: Tensor,
+        interaction_reconstruction: Tensor,
+        action_hidden: Tensor,
+        interaction_hidden: Tensor,
+    ) -> None:
+        self.action_reconstruction = action_reconstruction
+        self.interaction_reconstruction = interaction_reconstruction
+        self.action_hidden = action_hidden
+        self.interaction_hidden = interaction_hidden
+
+
+class CLSTM(nn.Module):
+    """Coupling LSTM with decoders ``De_I`` and ``De_A``.
+
+    Parameters
+    ----------
+    action_dim:
+        Dimensionality d1 of the action features (400 in the paper).
+    interaction_dim:
+        Dimensionality d2 of the audience interaction features.
+    action_hidden:
+        Hidden size h1 of ``LSTM_I``.
+    interaction_hidden:
+        Hidden size h2 of ``LSTM_A``.
+    coupling:
+        ``"both"`` (CLSTM), ``"influencer_to_audience"`` (CLSTM-S) or
+        ``"none"`` (independent LSTMs).
+    seed:
+        Parameter-initialisation seed.
+    """
+
+    def __init__(
+        self,
+        action_dim: int,
+        interaction_dim: int,
+        action_hidden: int = 64,
+        interaction_hidden: int = 32,
+        coupling: CouplingMode = "both",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if coupling not in ("both", "influencer_to_audience", "none"):
+            raise ValueError(f"unknown coupling mode '{coupling}'")
+        rng = np.random.default_rng(seed)
+        self.action_dim = action_dim
+        self.interaction_dim = interaction_dim
+        self.action_hidden = action_hidden
+        self.interaction_hidden = interaction_hidden
+        self.coupling = coupling
+
+        # Coupling switches: does LSTM_I read g_{t-1}?  Does LSTM_A read h_{t-1}?
+        audience_to_influencer = coupling == "both"
+        influencer_to_audience = coupling in ("both", "influencer_to_audience")
+
+        self.lstm_influencer = nn.CoupledLSTMCell(
+            input_size=action_dim,
+            hidden_size=action_hidden,
+            partner_size=interaction_hidden,
+            use_partner=audience_to_influencer,
+            rng=rng,
+        )
+        self.lstm_audience = nn.CoupledLSTMCell(
+            input_size=interaction_dim,
+            hidden_size=interaction_hidden,
+            partner_size=action_hidden,
+            use_partner=influencer_to_audience,
+            rng=rng,
+        )
+        # De_I ends in a softmax so reconstructions remain distributions.
+        self.decoder_action = nn.Sequential(
+            nn.Linear(action_hidden, action_dim, rng=rng),
+            nn.SoftmaxHead(),
+        )
+        self.decoder_interaction = nn.Linear(interaction_hidden, interaction_dim, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Forward pass
+    # ------------------------------------------------------------------ #
+    def forward(self, action_sequences, interaction_sequences) -> CLSTMOutput:
+        """Run CLSTM over aligned ``(N, q, d1)`` / ``(N, q, d2)`` sequences.
+
+        Both layers advance together: at step ``t`` the influencer cell reads
+        the audience hidden state from step ``t-1`` and vice versa, exactly as
+        in Fig. 4 of the paper.
+        """
+        actions = Tensor.ensure(action_sequences)
+        interactions = Tensor.ensure(interaction_sequences)
+        if actions.ndim != 3 or interactions.ndim != 3:
+            raise ValueError("CLSTM expects (batch, time, features) inputs")
+        if actions.shape[0] != interactions.shape[0]:
+            raise ValueError("action and interaction batches must have the same size")
+        if actions.shape[1] != interactions.shape[1]:
+            raise ValueError("action and interaction sequences must have the same length")
+        batch, time_steps, _ = actions.shape
+
+        influencer_state = self.lstm_influencer.initial_state(batch)
+        audience_state = self.lstm_audience.initial_state(batch)
+        for t in range(time_steps):
+            prev_h = influencer_state[0]
+            prev_g = audience_state[0]
+            influencer_state = self.lstm_influencer(actions[:, t, :], influencer_state, prev_g)
+            audience_state = self.lstm_audience(interactions[:, t, :], audience_state, prev_h)
+
+        final_h = influencer_state[0]
+        final_g = audience_state[0]
+        return CLSTMOutput(
+            action_reconstruction=self.decoder_action(final_h),
+            interaction_reconstruction=self.decoder_interaction(final_g),
+            action_hidden=final_h,
+            interaction_hidden=final_g,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience inference helpers
+    # ------------------------------------------------------------------ #
+    def predict(self, action_sequences: np.ndarray, interaction_sequences: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Inference-mode prediction; returns NumPy arrays ``(I_hat, A_hat)``."""
+        with nn.no_grad():
+            output = self.forward(action_sequences, interaction_sequences)
+        return output.action_reconstruction.numpy(), output.interaction_reconstruction.numpy()
+
+    def hidden_states(self, action_sequences: np.ndarray, interaction_sequences: np.ndarray) -> np.ndarray:
+        """Final ``h_t`` hidden states of ``LSTM_I`` (drift-detection input)."""
+        with nn.no_grad():
+            output = self.forward(action_sequences, interaction_sequences)
+        return output.action_hidden.numpy()
+
+    def clone_architecture(self, seed: int = 0) -> "CLSTM":
+        """A freshly initialised CLSTM with the same architecture."""
+        return CLSTM(
+            action_dim=self.action_dim,
+            interaction_dim=self.interaction_dim,
+            action_hidden=self.action_hidden,
+            interaction_hidden=self.interaction_hidden,
+            coupling=self.coupling,
+            seed=seed,
+        )
+
+    def flops_per_sequence(self, sequence_length: int) -> int:
+        """Rough floating-point-operation count for one sequence.
+
+        Matches the complexity expression the paper reports,
+        ``O(q * (4(h1^2 + h2^2) + 4(d1 h1 + d2 h2)))`` plus the decoders.
+        """
+        h1, h2 = self.action_hidden, self.interaction_hidden
+        d1, d2 = self.action_dim, self.interaction_dim
+        recurrent = 4 * (h1 * (h1 + h2 + d1)) + 4 * (h2 * (h1 + h2 + d2))
+        decoders = h1 * d1 + h2 * d2
+        return 2 * (sequence_length * recurrent + decoders)

@@ -1,0 +1,29 @@
+"""Evaluation: ROC/AUROC metrics, the experiment harness and text reporting."""
+
+from .metrics import (
+    RocCurve,
+    roc_curve,
+    auroc,
+    confusion_counts,
+    true_positive_rate,
+    false_positive_rate,
+    precision_recall_f1,
+)
+from .harness import ExperimentHarness, ExperimentScale, PreparedDataset
+from .reporting import format_table, format_named_series, format_percentage
+
+__all__ = [
+    "RocCurve",
+    "roc_curve",
+    "auroc",
+    "confusion_counts",
+    "true_positive_rate",
+    "false_positive_rate",
+    "precision_recall_f1",
+    "ExperimentHarness",
+    "ExperimentScale",
+    "PreparedDataset",
+    "format_table",
+    "format_named_series",
+    "format_percentage",
+]

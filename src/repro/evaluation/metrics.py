@@ -1,0 +1,135 @@
+"""Evaluation metrics: ROC curve, AUROC, confusion counts, filtering power.
+
+The paper evaluates effectiveness with ROC curves and the area under them
+(AUROC) and efficiency with per-segment detection time and the filtering-power
+metric.  Implementations here are NumPy-only and handle the degenerate cases
+(all-normal or all-anomalous label sets) explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RocCurve",
+    "roc_curve",
+    "auroc",
+    "confusion_counts",
+    "true_positive_rate",
+    "false_positive_rate",
+    "precision_recall_f1",
+]
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A receiver operating characteristic curve."""
+
+    fpr: np.ndarray
+    tpr: np.ndarray
+    thresholds: np.ndarray
+
+    def area(self) -> float:
+        """Area under the curve via the trapezoid rule."""
+        return float(np.trapezoid(self.tpr, self.fpr))
+
+    def tpr_at_fpr(self, target_fpr: float) -> float:
+        """Interpolated TPR at a given FPR (used to compare curves point-wise)."""
+        if not 0.0 <= target_fpr <= 1.0:
+            raise ValueError("target_fpr must be in [0, 1]")
+        return float(np.interp(target_fpr, self.fpr, self.tpr))
+
+
+def _validate(labels: Sequence[int], scores: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError(f"labels and scores must align, got {labels.shape} vs {scores.shape}")
+    if labels.size == 0:
+        raise ValueError("labels must be non-empty")
+    unique = set(np.unique(labels).tolist())
+    if not unique <= {0, 1}:
+        raise ValueError(f"labels must be binary (0/1), found values {sorted(unique)}")
+    return labels.astype(np.int64), scores
+
+
+def roc_curve(labels: Sequence[int], scores: Sequence[float]) -> RocCurve:
+    """Compute the ROC curve of anomaly ``scores`` against binary ``labels``.
+
+    Points are produced at every distinct score threshold, plus the (0, 0) and
+    (1, 1) endpoints.  When one of the classes is empty the corresponding rate
+    is reported as zero everywhere (and :func:`auroc` returns ``nan``).
+    """
+    labels, scores = _validate(labels, scores)
+    positives = int(labels.sum())
+    negatives = int(labels.size - positives)
+
+    order = np.argsort(scores)[::-1]
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+
+    cumulative_tp = np.cumsum(sorted_labels)
+    cumulative_fp = np.cumsum(1 - sorted_labels)
+
+    # Keep one point per distinct threshold (the last occurrence of each score).
+    distinct = np.nonzero(np.diff(sorted_scores, append=-np.inf))[0]
+    tp = cumulative_tp[distinct]
+    fp = cumulative_fp[distinct]
+
+    tpr = tp / positives if positives > 0 else np.zeros_like(tp, dtype=np.float64)
+    fpr = fp / negatives if negatives > 0 else np.zeros_like(fp, dtype=np.float64)
+
+    fpr = np.concatenate([[0.0], fpr, [1.0]])
+    tpr = np.concatenate([[0.0], tpr, [1.0]])
+    thresholds = np.concatenate([[np.inf], sorted_scores[distinct], [-np.inf]])
+    return RocCurve(fpr=fpr, tpr=tpr, thresholds=thresholds)
+
+
+def auroc(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the ROC curve; ``nan`` when only one class is present."""
+    labels, scores = _validate(labels, scores)
+    positives = int(labels.sum())
+    negatives = int(labels.size - positives)
+    if positives == 0 or negatives == 0:
+        return float("nan")
+    return roc_curve(labels, scores).area()
+
+
+def confusion_counts(labels: Sequence[int], predictions: Sequence[bool]) -> dict[str, int]:
+    """Confusion-matrix counts for hard anomaly decisions."""
+    labels = np.asarray(labels).astype(bool)
+    predictions = np.asarray(predictions).astype(bool)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must align")
+    return {
+        "tp": int(np.sum(labels & predictions)),
+        "fp": int(np.sum(~labels & predictions)),
+        "tn": int(np.sum(~labels & ~predictions)),
+        "fn": int(np.sum(labels & ~predictions)),
+    }
+
+
+def true_positive_rate(labels: Sequence[int], predictions: Sequence[bool]) -> float:
+    """TPR (recall) of hard decisions; 0 when there are no positives."""
+    counts = confusion_counts(labels, predictions)
+    denominator = counts["tp"] + counts["fn"]
+    return counts["tp"] / denominator if denominator else 0.0
+
+
+def false_positive_rate(labels: Sequence[int], predictions: Sequence[bool]) -> float:
+    """FPR of hard decisions; 0 when there are no negatives."""
+    counts = confusion_counts(labels, predictions)
+    denominator = counts["fp"] + counts["tn"]
+    return counts["fp"] / denominator if denominator else 0.0
+
+
+def precision_recall_f1(labels: Sequence[int], predictions: Sequence[bool]) -> dict[str, float]:
+    """Precision, recall and F1 of hard decisions (all 0 when undefined)."""
+    counts = confusion_counts(labels, predictions)
+    precision = counts["tp"] / (counts["tp"] + counts["fp"]) if counts["tp"] + counts["fp"] else 0.0
+    recall = counts["tp"] / (counts["tp"] + counts["fn"]) if counts["tp"] + counts["fn"] else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}

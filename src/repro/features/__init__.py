@@ -1,0 +1,23 @@
+"""Feature extraction: simulated I3D action features, audience-interaction
+features, sliding-window segmentation and CLSTM sequence construction."""
+
+from .i3d import SimulatedI3DExtractor
+from .text import HashingWordEmbedding, LexiconSentimentAnalyzer, tokenize
+from .interaction import InteractionFeatureExtractor
+from .segmentation import SlidingWindowSegmenter
+from .sequences import SequenceBatch, build_sequences, latest_sequence
+from .pipeline import FeaturePipeline, StreamFeatures
+
+__all__ = [
+    "SimulatedI3DExtractor",
+    "HashingWordEmbedding",
+    "LexiconSentimentAnalyzer",
+    "tokenize",
+    "InteractionFeatureExtractor",
+    "SlidingWindowSegmenter",
+    "SequenceBatch",
+    "build_sequences",
+    "latest_sequence",
+    "FeaturePipeline",
+    "StreamFeatures",
+]

@@ -1,0 +1,163 @@
+"""Audience-interaction feature extraction (the paper's ``Phi_D``).
+
+For a video segment ``c_i`` the paper builds the interaction feature from
+three parts (Section IV-A2):
+
+1. **Windowed comment counts** — for each second ``t`` covered by the segment,
+   ``D_t`` is the sum of per-second comment counts in a window
+   ``W_s = [t - s, ..., t + s]``; the ``D_t`` values of the segment form a
+   k-tuple, and the k-tuples of the previous, current and next segments are
+   conjoined to capture context.  Counts are normalised to [0, 1] to remove
+   the effect of the absolute audience size.
+2. **Average word embedding** of the comments posted during the segment.
+3. **Sentiment score** of those comments.
+
+:class:`InteractionFeatureExtractor` reproduces this construction on simulated
+streams and exposes the resulting feature dimensionality ``d2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..streams.events import SocialVideoStream, VideoSegment
+from .text import HashingWordEmbedding, LexiconSentimentAnalyzer
+
+__all__ = ["InteractionFeatureExtractor"]
+
+
+@dataclass(frozen=True)
+class _SegmentWindow:
+    """Per-segment intermediate quantities (counts tuple, comments)."""
+
+    counts: np.ndarray
+    texts: List[str]
+
+
+class InteractionFeatureExtractor:
+    """Extract audience-interaction features ``a_i = Phi_D(c_i)``.
+
+    Parameters
+    ----------
+    window_halfwidth:
+        Half width ``s`` of the count-aggregation window ``W_s`` in seconds.
+    seconds_per_segment:
+        Number ``k`` of one-second slots attributed to each segment; with the
+        paper's protocol a 64-frame segment at 25 fps covers ceil(2.56) = 3
+        slots.
+    embedding_dim:
+        Dimensionality of the hash-based word embedding.
+    context_segments:
+        How many neighbouring segments on each side contribute their count
+        tuple (1 reproduces the paper's conjunction of ``c_{i-1}, c_i, c_{i+1}``).
+    embedding_weight:
+        Scale applied to the word-embedding block of the feature.  With only a
+        handful of comments per segment the mean embedding is a noisy summary;
+        down-weighting it keeps the (highly informative) comment-count block
+        from being drowned out in the L2 reconstruction error, while still
+        exposing the content signal the paper concatenates.
+    """
+
+    def __init__(
+        self,
+        window_halfwidth: int = 2,
+        seconds_per_segment: int = 3,
+        embedding_dim: int = 16,
+        context_segments: int = 1,
+        embedding_seed: int = 13,
+        embedding_weight: float = 0.3,
+    ) -> None:
+        if window_halfwidth < 0:
+            raise ValueError("window_halfwidth must be non-negative")
+        if seconds_per_segment < 1:
+            raise ValueError("seconds_per_segment must be positive")
+        if context_segments < 0:
+            raise ValueError("context_segments must be non-negative")
+        if embedding_weight < 0:
+            raise ValueError("embedding_weight must be non-negative")
+        self.window_halfwidth = window_halfwidth
+        self.seconds_per_segment = seconds_per_segment
+        self.embedding_dim = embedding_dim
+        self.context_segments = context_segments
+        self.embedding_weight = embedding_weight
+        self._embedding = HashingWordEmbedding(dim=embedding_dim, seed=embedding_seed)
+        self._sentiment = LexiconSentimentAnalyzer()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Dimensionality d2 of the produced interaction feature."""
+        count_part = self.seconds_per_segment * (2 * self.context_segments + 1)
+        return count_part + self.embedding_dim + 1
+
+    def extract_stream(self, stream: SocialVideoStream) -> np.ndarray:
+        """Extract interaction features for every segment of ``stream``.
+
+        Returns an ``(M, d2)`` array aligned with ``stream.segments``.
+        """
+        windows = [self._segment_window(stream, segment) for segment in stream.segments]
+        if not windows:
+            return np.zeros((0, self.dimension))
+
+        count_matrix = np.stack([w.counts for w in windows], axis=0)
+        normalised = self._normalise_counts(count_matrix)
+
+        features = np.zeros((len(windows), self.dimension))
+        for index, window in enumerate(windows):
+            features[index] = self._assemble(normalised, windows, index)
+        return features
+
+    def extract_counts_only(self, stream: SocialVideoStream) -> np.ndarray:
+        """Return only the normalised per-segment count tuples (no text features).
+
+        Exposed because the dynamic-update algorithm (Fig. 5 of the paper)
+        filters incoming segments by their *normalised audience interaction*.
+        """
+        windows = [self._segment_window(stream, segment) for segment in stream.segments]
+        if not windows:
+            return np.zeros((0, self.seconds_per_segment))
+        count_matrix = np.stack([w.counts for w in windows], axis=0)
+        return self._normalise_counts(count_matrix)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _segment_window(self, stream: SocialVideoStream, segment: VideoSegment) -> _SegmentWindow:
+        counts = np.zeros(self.seconds_per_segment)
+        start_second = int(segment.start_time)
+        for offset in range(self.seconds_per_segment):
+            second = start_second + offset
+            lo = second - self.window_halfwidth
+            hi = second + self.window_halfwidth + 1
+            counts[offset] = float(stream.counts_between(lo, hi).sum())
+        texts = [comment.text for comment in stream.comments_between(segment.start_time, segment.end_time)]
+        return _SegmentWindow(counts=counts, texts=texts)
+
+    def _normalise_counts(self, count_matrix: np.ndarray) -> np.ndarray:
+        """Normalise counts to [0, 1] across the stream (per Section IV-A2)."""
+        maximum = float(count_matrix.max())
+        if maximum <= 0:
+            return np.zeros_like(count_matrix)
+        return count_matrix / maximum
+
+    def _assemble(
+        self,
+        normalised_counts: np.ndarray,
+        windows: Sequence[_SegmentWindow],
+        index: int,
+    ) -> np.ndarray:
+        parts: List[np.ndarray] = []
+        for offset in range(-self.context_segments, self.context_segments + 1):
+            neighbour = min(max(index + offset, 0), len(windows) - 1)
+            parts.append(normalised_counts[neighbour])
+        counts_part = np.concatenate(parts)
+
+        texts = windows[index].texts
+        embedding = self._embedding.embed_many(texts) * self.embedding_weight
+        sentiment = np.array([self._sentiment.mean_polarity(texts)])
+        return np.concatenate([counts_part, embedding, sentiment])

@@ -1,0 +1,145 @@
+"""End-to-end feature pipeline: stream -> (action, interaction) features.
+
+:class:`FeaturePipeline` wires the simulated I3D extractor and the audience
+interaction extractor together and produces :class:`StreamFeatures`, the
+feature bundle consumed by every detector (AOVLIS and baselines) and by the
+evaluation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..streams.events import SocialVideoStream
+from ..utils.config import StreamProtocol
+from .i3d import SimulatedI3DExtractor
+from .interaction import InteractionFeatureExtractor
+from .sequences import SequenceBatch, build_sequences
+
+__all__ = ["StreamFeatures", "FeaturePipeline"]
+
+
+@dataclass
+class StreamFeatures:
+    """Per-segment features of a whole stream plus its ground-truth labels.
+
+    Attributes
+    ----------
+    name:
+        Name of the originating stream.
+    action:
+        ``(M, d1)`` action-recognition features ``I``.
+    interaction:
+        ``(M, d2)`` audience-interaction features ``A``.
+    labels:
+        ``(M,)`` ground-truth anomaly labels (only read by the evaluator).
+    normalised_interaction:
+        ``(M,)`` scalar normalised audience-interaction level per segment,
+        used by the dynamic-update algorithm to pick presumed-normal segments.
+    """
+
+    name: str
+    action: np.ndarray
+    interaction: np.ndarray
+    labels: np.ndarray
+    normalised_interaction: np.ndarray
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_segments(self) -> int:
+        return self.action.shape[0]
+
+    @property
+    def action_dim(self) -> int:
+        return self.action.shape[1]
+
+    @property
+    def interaction_dim(self) -> int:
+        return self.interaction.shape[1]
+
+    def sequences(self, sequence_length: int) -> SequenceBatch:
+        """Build CLSTM sequences of length ``q`` from these features."""
+        return build_sequences(self.action, self.interaction, sequence_length)
+
+    def sequence_labels(self, sequence_length: int) -> np.ndarray:
+        """Labels aligned with :meth:`sequences` targets."""
+        return self.labels[sequence_length:]
+
+    def subset(self, start: int, stop: int) -> "StreamFeatures":
+        """Features of the segment range ``[start, stop)``."""
+        return StreamFeatures(
+            name=f"{self.name}[{start}:{stop}]",
+            action=self.action[start:stop],
+            interaction=self.interaction[start:stop],
+            labels=self.labels[start:stop],
+            normalised_interaction=self.normalised_interaction[start:stop],
+            metadata=dict(self.metadata),
+        )
+
+
+class FeaturePipeline:
+    """Extract :class:`StreamFeatures` from a :class:`SocialVideoStream`.
+
+    Parameters
+    ----------
+    action_dim:
+        Dimensionality of the simulated I3D feature (400 in the paper).
+    motion_channels:
+        Number of latent motion channels the stream simulator produces; must
+        match the generating :class:`~repro.streams.generator.StreamProfile`.
+    embedding_dim:
+        Word-embedding dimensionality of the interaction feature.
+    protocol:
+        Segmentation protocol (used to derive the seconds-per-segment of the
+        interaction extractor).
+    seed:
+        Seed of the frozen I3D projection.
+    """
+
+    def __init__(
+        self,
+        action_dim: int = 400,
+        motion_channels: int = 16,
+        embedding_dim: int = 16,
+        protocol: Optional[StreamProtocol] = None,
+        seed: int = 1234,
+    ) -> None:
+        self.protocol = protocol if protocol is not None else StreamProtocol()
+        seconds_per_segment = int(np.ceil(self.protocol.segment_frames / self.protocol.frame_rate))
+        self.i3d = SimulatedI3DExtractor(
+            feature_dim=action_dim,
+            motion_channels=motion_channels,
+            seed=seed,
+        )
+        self.interaction = InteractionFeatureExtractor(
+            seconds_per_segment=seconds_per_segment,
+            embedding_dim=embedding_dim,
+        )
+
+    @property
+    def action_dim(self) -> int:
+        """Dimensionality d1 of the action features."""
+        return self.i3d.feature_dim
+
+    @property
+    def interaction_dim(self) -> int:
+        """Dimensionality d2 of the interaction features."""
+        return self.interaction.dimension
+
+    def extract(self, stream: SocialVideoStream) -> StreamFeatures:
+        """Run both extractors over ``stream`` and bundle the results."""
+        action = self.i3d.extract_batch(stream.segments)
+        interaction = self.interaction.extract_stream(stream)
+        counts = self.interaction.extract_counts_only(stream)
+        normalised_interaction = counts.mean(axis=1) if counts.size else np.zeros(0)
+        return StreamFeatures(
+            name=stream.name,
+            action=action,
+            interaction=interaction,
+            labels=stream.labels,
+            normalised_interaction=normalised_interaction,
+            metadata=dict(stream.metadata),
+        )

@@ -1,0 +1,94 @@
+"""Sliding-window segmentation of raw frame streams.
+
+The stream simulator already emits ready-made :class:`VideoSegment` objects,
+but users bringing their own data have per-frame descriptors (one row per
+video frame) and need to cut them into the paper's 64-frame windows with a
+25-frame stride.  :class:`SlidingWindowSegmenter` performs exactly that
+segmentation and is also used by the property-based tests to check that the
+simulator's internal segmentation agrees with the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..streams.events import VideoSegment
+from ..utils.config import StreamProtocol
+
+__all__ = ["SlidingWindowSegmenter"]
+
+
+class SlidingWindowSegmenter:
+    """Cut a per-frame descriptor stream into overlapping fixed-size segments."""
+
+    def __init__(self, protocol: StreamProtocol | None = None) -> None:
+        self.protocol = protocol if protocol is not None else StreamProtocol()
+
+    def num_segments(self, num_frames: int) -> int:
+        """Number of segments produced from ``num_frames`` frames."""
+        window = self.protocol.segment_frames
+        stride = self.protocol.stride_frames
+        if num_frames < window:
+            return 0
+        return 1 + (num_frames - window) // stride
+
+    def segment(
+        self,
+        frame_features: np.ndarray,
+        action_states: Sequence[str] | None = None,
+        labels: Sequence[bool] | None = None,
+    ) -> List[VideoSegment]:
+        """Segment a ``(num_frames, channels)`` frame-descriptor array.
+
+        Parameters
+        ----------
+        frame_features:
+            One descriptor row per frame (for real data this could be any
+            per-frame embedding; for the simulator it is the latent motion
+            content).
+        action_states:
+            Optional per-frame state names; a segment takes the majority name.
+        labels:
+            Optional per-frame anomaly flags; a segment is anomalous when any
+            of its frames is flagged.
+        """
+        frames = np.asarray(frame_features, dtype=np.float64)
+        if frames.ndim != 2:
+            raise ValueError(f"frame_features must be 2-D, got shape {frames.shape}")
+        num_frames = frames.shape[0]
+        window = self.protocol.segment_frames
+        stride = self.protocol.stride_frames
+        frame_rate = self.protocol.frame_rate
+
+        if action_states is not None and len(action_states) != num_frames:
+            raise ValueError("action_states must have one entry per frame")
+        if labels is not None and len(labels) != num_frames:
+            raise ValueError("labels must have one entry per frame")
+
+        segments: List[VideoSegment] = []
+        index = 0
+        start = 0
+        while start + window <= num_frames:
+            stop = start + window
+            window_states = list(action_states[start:stop]) if action_states is not None else []
+            if window_states:
+                dominant = max(set(window_states), key=window_states.count)
+            else:
+                dominant = "unknown"
+            is_anomaly = bool(np.any(labels[start:stop])) if labels is not None else False
+            segments.append(
+                VideoSegment(
+                    index=index,
+                    start_time=start / frame_rate,
+                    end_time=stop / frame_rate,
+                    motion_content=frames[start:stop],
+                    action_state=dominant,
+                    is_anomaly=is_anomaly,
+                    attractiveness=0.0,
+                )
+            )
+            index += 1
+            start += stride
+        return segments

@@ -1,0 +1,67 @@
+"""Parameter initialisation schemes for the :mod:`repro.nn` substrate.
+
+The CLSTM paper states that "the initial states of CLSTM parameters are
+randomly initialized and tuned during training"; we provide the standard
+initialisers (Xavier/Glorot, orthogonal, zeros) that PyTorch would apply to
+``nn.Linear`` and ``nn.LSTM`` so the reproduction behaves comparably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "xavier_normal",
+    "orthogonal",
+    "zeros",
+    "uniform",
+]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Samples from ``U(-a, a)`` with ``a = gain * sqrt(6 / (fan_in + fan_out))``.
+    """
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def orthogonal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation, commonly used for recurrent weight matrices."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal initialisation requires a 2-D shape")
+    rows, cols = shape
+    size = max(rows, cols)
+    matrix = rng.normal(0.0, 1.0, size=(size, size))
+    q, _ = np.linalg.qr(matrix)
+    return gain * q[:rows, :cols]
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (used for biases)."""
+    return np.zeros(shape)
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Plain uniform initialisation in ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = int(shape[-1])
+    return fan_in, fan_out

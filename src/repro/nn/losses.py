@@ -1,0 +1,114 @@
+"""Reconstruction losses used by AOVLIS and its baselines.
+
+The paper's training objective (Eq. 13) fuses a Jensen–Shannon divergence term
+over reconstructed action features with a mean-squared-error term over
+reconstructed audience interaction features:
+
+``l(I, A) = w * JSE(I_hat, I) + (1 - w) * MSE(A_hat, A)``
+
+Table I additionally compares training with L2, KL and JS losses on the action
+branch, so all three are provided here as differentiable loss functions.
+"""
+
+from __future__ import annotations
+
+from .tensor import Tensor
+from . import functional as F
+
+__all__ = [
+    "mse_loss",
+    "l2_loss",
+    "kl_divergence_loss",
+    "js_divergence_loss",
+    "weighted_reconstruction_loss",
+]
+
+_EPS = 1e-12
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error averaged over every element."""
+    prediction = Tensor.ensure(prediction)
+    target = Tensor.ensure(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l2_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean (over batch) of the squared L2 norm of the reconstruction error.
+
+    This is the "CLSTM+L2" variant from Table I: the loss for each sample is
+    ``||x_hat - x||_2^2`` and samples are averaged.
+    """
+    prediction = Tensor.ensure(prediction)
+    target = Tensor.ensure(target)
+    diff = prediction - target
+    per_sample = (diff * diff).sum(axis=-1)
+    return per_sample.mean()
+
+
+def kl_divergence_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean KL divergence ``KL(target || prediction)`` over the batch.
+
+    Both inputs are expected to be (approximately) normalised distributions
+    along the last axis, which holds for the action-recognition features and
+    for the softmax output of the action decoder.
+    """
+    prediction = Tensor.ensure(prediction)
+    target = Tensor.ensure(target)
+    ratio = F.log(target, eps=_EPS) - F.log(prediction, eps=_EPS)
+    per_sample = (target * ratio).sum(axis=-1)
+    return per_sample.mean()
+
+
+def js_divergence_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean Jensen–Shannon divergence over the batch (the paper's JSE loss).
+
+    ``JS(P, Q) = 0.5 * KL(P || M) + 0.5 * KL(Q || M)`` with ``M = (P + Q)/2``.
+    JS is symmetric and bounded by ``log 2``, which makes it a well-behaved
+    reconstruction loss for probability-like action features.
+    """
+    prediction = Tensor.ensure(prediction)
+    target = Tensor.ensure(target)
+    mixture = (prediction + target) * 0.5
+    log_m = F.log(mixture, eps=_EPS)
+    kl_pm = (prediction * (F.log(prediction, eps=_EPS) - log_m)).sum(axis=-1)
+    kl_qm = (target * (F.log(target, eps=_EPS) - log_m)).sum(axis=-1)
+    per_sample = (kl_pm + kl_qm) * 0.5
+    return per_sample.mean()
+
+
+def weighted_reconstruction_loss(
+    action_prediction: Tensor,
+    action_target: Tensor,
+    interaction_prediction: Tensor,
+    interaction_target: Tensor,
+    omega: float,
+    action_loss: str = "js",
+) -> Tensor:
+    """Overall CLSTM loss (Eq. 13).
+
+    Parameters
+    ----------
+    action_prediction, action_target:
+        Reconstructed and true action-recognition features.
+    interaction_prediction, interaction_target:
+        Reconstructed and true audience-interaction features.
+    omega:
+        Weight ``w`` of the action branch, in ``[0, 1]``.
+    action_loss:
+        Loss applied to the action branch — ``"js"`` (paper default), ``"kl"``
+        or ``"l2"`` (the Table I alternatives).
+    """
+    if not 0.0 <= omega <= 1.0:
+        raise ValueError(f"omega must be in [0, 1], got {omega}")
+    action_losses = {
+        "js": js_divergence_loss,
+        "kl": kl_divergence_loss,
+        "l2": l2_loss,
+    }
+    if action_loss not in action_losses:
+        raise ValueError(f"unknown action loss '{action_loss}'; options: {sorted(action_losses)}")
+    action_term = action_losses[action_loss](action_prediction, action_target)
+    interaction_term = mse_loss(interaction_prediction, interaction_target)
+    return action_term * omega + interaction_term * (1.0 - omega)

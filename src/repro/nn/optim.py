@@ -1,0 +1,125 @@
+"""Gradient-based optimisers for the :mod:`repro.nn` substrate.
+
+The paper trains CLSTM with the Adam optimiser (learning rate 0.001) "for its
+computing efficiency and low memory cost"; SGD with momentum is also provided
+for completeness and for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class holding a list of parameters to update."""
+
+    def __init__(self, parameters: Iterable[Parameter]) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        """Reset gradients of every managed parameter."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            update = parameter.grad
+            if self.momentum > 0.0:
+                velocity = self._velocity[index]
+                velocity = update if velocity is None else self.momentum * velocity + update
+                self._velocity[index] = velocity
+                update = velocity
+            parameter.data = parameter.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba), the paper's training optimiser."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._step_count
+        bias_correction2 = 1.0 - self.beta2 ** self._step_count
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * parameter.data
+            first = self._first_moment[index]
+            second = self._second_moment[index]
+            first = self.beta1 * first + (1.0 - self.beta1) * grad
+            second = self.beta2 * second + (1.0 - self.beta2) * (grad * grad)
+            self._first_moment[index] = first
+            self._second_moment[index] = second
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            parameter.data = parameter.data - self.lr * corrected_first / (
+                np.sqrt(corrected_second) + self.eps
+            )
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in place so their global L2 norm does not exceed ``max_norm``.
+
+    Returns the pre-clipping norm.  Gradient clipping keeps recurrent training
+    stable for the longer TWI-style sequences.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    if not parameters:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for parameter in parameters:
+            parameter.grad = parameter.grad * scale
+    return total

@@ -1,0 +1,67 @@
+"""Saving and loading model parameters.
+
+AOVLIS maintains its model over long-running streams (Section IV-D), so being
+able to checkpoint the CLSTM and restore it later is part of the production
+surface.  Checkpoints are plain ``.npz`` archives of the module's state dict
+plus a JSON metadata blob, which keeps them portable and dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_state", "load_into_module"]
+
+_METADATA_KEY = "__metadata__"
+
+
+def save_module(module: Module, path: Union[str, Path], metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Persist a module's parameters to ``path`` (``.npz``).
+
+    Parameters
+    ----------
+    module:
+        Any :class:`repro.nn.Module`.
+    path:
+        Destination file; the ``.npz`` suffix is appended when missing.
+    metadata:
+        Optional JSON-serialisable dictionary stored alongside the weights
+        (e.g. training configuration, dataset name, update counters).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {name: value for name, value in module.state_dict().items()}
+    payload[_METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_state(path: Union[str, Path]) -> tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Load a checkpoint and return ``(state_dict, metadata)``."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        state = {name: archive[name] for name in archive.files if name != _METADATA_KEY}
+        metadata: Dict[str, Any] = {}
+        if _METADATA_KEY in archive.files:
+            raw = archive[_METADATA_KEY].tobytes().decode("utf-8")
+            metadata = json.loads(raw) if raw else {}
+    return state, metadata
+
+
+def load_into_module(module: Module, path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a checkpoint into ``module`` in place and return its metadata."""
+    state, metadata = load_state(path)
+    module.load_state_dict(state)
+    return metadata

@@ -1,0 +1,40 @@
+"""Detection-efficiency optimisations: ADG reduction, bounds, ADOS filtering."""
+
+from .adg import (
+    ADGRepresentation,
+    assign_subspaces,
+    build_adg,
+    minimal_feature_contribution,
+    subspace_boundaries,
+)
+from .bounds import (
+    BoundEvaluation,
+    adg_upper_bound,
+    evaluate_bounds,
+    js_lower_bound_l1,
+    js_upper_bound_l1,
+    paper_group_bound,
+)
+from .ados import ADOSFilter, FilterOutcome, FilteredDetectionResult, FilteredDetector
+from .filtering import FilteringPowerReport, evaluate_filtering_power, filtering_power
+
+__all__ = [
+    "ADGRepresentation",
+    "assign_subspaces",
+    "build_adg",
+    "minimal_feature_contribution",
+    "subspace_boundaries",
+    "BoundEvaluation",
+    "adg_upper_bound",
+    "evaluate_bounds",
+    "js_lower_bound_l1",
+    "js_upper_bound_l1",
+    "paper_group_bound",
+    "ADOSFilter",
+    "FilterOutcome",
+    "FilteredDetectionResult",
+    "FilteredDetector",
+    "FilteringPowerReport",
+    "evaluate_filtering_power",
+    "filtering_power",
+]

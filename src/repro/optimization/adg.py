@@ -1,0 +1,168 @@
+"""Adaptive Dimension Group (ADG) representation of action features.
+
+Section V-A of the paper reduces the 400-dimensional action features to a
+compact group summary before the expensive Jensen–Shannon reconstruction
+error is computed:
+
+1. the (0, 1) value space of a feature dimension is partitioned into ``n``
+   variable-sized subspaces by recursively halving the *lower* half — because
+   small values are much denser than large ones in the normalised I3D
+   features, this adapts the resolution to the value distribution;
+2. each feature dimension is hashed to the subspace its value falls into
+   (``h(k) = floor(k * 2^(n-1))`` indexes a lookup array in the paper; we
+   compute the subspace directly from the value's binary exponent, which is
+   the same mapping without the table);
+3. the dimensions mapped to one subspace form a *dimension group*, summarised
+   by the pair ``<f_min, f_max>`` of the feature's values in that group (plus
+   the group size).
+
+The group summaries support an upper bound on the JS reconstruction error
+(:mod:`repro.optimization.bounds`) that can filter segments without touching
+all 400 dimensions, and the "minimal feature contribution" statistic of
+Table II that justifies the choice of ``n = 20`` subspaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "subspace_boundaries",
+    "assign_subspaces",
+    "ADGRepresentation",
+    "build_adg",
+    "minimal_feature_contribution",
+]
+
+
+def subspace_boundaries(n: int) -> np.ndarray:
+    """Lower boundaries of the ``n`` recursive-binary-partition subspaces.
+
+    Subspace 0 is ``[0.5, 1)``, subspace 1 is ``[0.25, 0.5)`` and so on; the
+    last subspace is ``[0, 2^-(n-1))``.  Returned array has length ``n`` and
+    holds each subspace's lower boundary in decreasing order.
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    boundaries = np.array([2.0 ** -(i + 1) for i in range(n - 1)] + [0.0])
+    return boundaries
+
+
+def assign_subspaces(values: np.ndarray, n: int) -> np.ndarray:
+    """Map each value in (0, 1) to its subspace index (0 = largest values).
+
+    The mapping is exactly the recursive binary partition: a value ``v`` falls
+    into subspace ``i`` when ``2^-(i+1) <= v < 2^-i`` (clamped to the last
+    subspace for very small values).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    clipped = np.clip(values, 1e-300, 1.0 - 1e-12)
+    # Subspace i covers [2^-(i+1), 2^-i), so i = ceil(-log2(v)) - 1 (the ceil
+    # keeps boundary values such as exactly 0.5 in the upper subspace),
+    # clamped to [0, n-1].
+    indices = (np.ceil(-np.log2(clipped)) - 1).astype(np.int64)
+    return np.clip(indices, 0, n - 1)
+
+
+@dataclass(frozen=True)
+class ADGRepresentation:
+    """Group summary of one action feature vector.
+
+    Attributes
+    ----------
+    n_subspaces:
+        Number of value subspaces used for the grouping.
+    group_dimensions:
+        For every non-empty group, the array of dimension indices it contains.
+    group_min / group_max:
+        Per-group minimum and maximum feature values (the ``<f_min, f_max>``
+        pairs of the paper).
+    group_sizes:
+        Number of dimensions per group.
+    dominant_dimension:
+        Index of the dimension with the largest value (used by the ADOS
+        trigger function).
+    """
+
+    n_subspaces: int
+    group_dimensions: tuple
+    group_min: np.ndarray
+    group_max: np.ndarray
+    group_sizes: np.ndarray
+    dominant_dimension: int
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.group_dimensions)
+
+    def sparsest_groups(self, count: int) -> List[int]:
+        """Indices of the ``count`` groups with the fewest dimensions.
+
+        These are the groups whose bound is loosest relative to their exact
+        contribution; the detection optimiser evaluates them exactly
+        (Fig. 12c's ``N_sg`` parameter).
+        """
+        if count <= 0:
+            return []
+        order = np.argsort(self.group_sizes, kind="stable")
+        return list(order[: min(count, self.num_groups)])
+
+
+def build_adg(feature: np.ndarray, n_subspaces: int = 20) -> ADGRepresentation:
+    """Build the ADG representation of a single action feature vector."""
+    feature = np.asarray(feature, dtype=np.float64)
+    if feature.ndim != 1:
+        raise ValueError(f"feature must be 1-D, got shape {feature.shape}")
+    if feature.size == 0:
+        raise ValueError("feature must be non-empty")
+    assignments = assign_subspaces(feature, n_subspaces)
+    group_dimensions: List[np.ndarray] = []
+    group_min: List[float] = []
+    group_max: List[float] = []
+    for subspace in np.unique(assignments):
+        dims = np.nonzero(assignments == subspace)[0]
+        values = feature[dims]
+        group_dimensions.append(dims)
+        group_min.append(float(values.min()))
+        group_max.append(float(values.max()))
+    return ADGRepresentation(
+        n_subspaces=n_subspaces,
+        group_dimensions=tuple(group_dimensions),
+        group_min=np.array(group_min),
+        group_max=np.array(group_max),
+        group_sizes=np.array([len(d) for d in group_dimensions]),
+        dominant_dimension=int(np.argmax(feature)),
+    )
+
+
+def minimal_feature_contribution(features: np.ndarray, n_subspaces: int) -> float:
+    """Table II statistic: worst-case JS contribution of a bottom-group dimension.
+
+    For every feature vector, the dimensions falling into the lowest value
+    subspace (values below ``2^-(n-1)``) can each contribute at most
+    ``0.5 * log(2) * value_range`` to the JS reconstruction error; MFC reports
+    the mean of that worst case over the dataset.  It shrinks towards zero as
+    ``n`` grows, which is the paper's justification for using n = 20
+    subspaces: finer partitioning of the tiny values no longer changes the
+    bound.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim == 1:
+        features = features[None, :]
+    if features.ndim != 2:
+        raise ValueError("features must be a (num_features, dim) matrix")
+    bottom_upper = 2.0 ** -(n_subspaces - 1)
+    contributions = []
+    for feature in features:
+        assignments = assign_subspaces(feature, n_subspaces)
+        bottom_dims = assignments == (n_subspaces - 1)
+        if not np.any(bottom_dims):
+            contributions.append(0.0)
+            continue
+        values = feature[bottom_dims]
+        # Worst case: the reconstructed value differs by the full subspace width.
+        contributions.append(float(0.5 * np.log(2.0) * min(bottom_upper, values.max())))
+    return float(np.mean(contributions))

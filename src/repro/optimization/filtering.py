@@ -1,0 +1,135 @@
+"""Filtering-power evaluation of the individual bounds and their combinations.
+
+The paper introduces the *filtering power* metric
+``fp = filtered segments / total segments`` and compares (Fig. 11a) the power
+of ``JS_max``, ``JS_min``, ``RE^G_I``, the L1 pair, the full combination and
+ADOS.  This module computes those numbers for a scored batch so the Fig. 11a
+benchmark (and the efficiency analysis) can reproduce the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.detector import AnomalyDetector
+from ..core.scoring import interaction_reconstruction_error
+from ..features.sequences import SequenceBatch
+from .ados import ADOSFilter
+from .bounds import adg_upper_bound, js_lower_bound_l1, js_upper_bound_l1
+
+__all__ = ["FilteringPowerReport", "filtering_power", "evaluate_filtering_power"]
+
+
+@dataclass(frozen=True)
+class FilteringPowerReport:
+    """Filtering power of every strategy over one batch (Fig. 11a)."""
+
+    total_segments: int
+    powers: Dict[str, float]
+
+    def __getitem__(self, strategy: str) -> float:
+        return self.powers[strategy]
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.powers)
+
+
+def filtering_power(filtered: int, total: int) -> float:
+    """``fp = filtered / total`` (0 when the batch is empty)."""
+    if total <= 0:
+        return 0.0
+    if filtered < 0 or filtered > total:
+        raise ValueError("filtered must be between 0 and total")
+    return filtered / total
+
+
+def evaluate_filtering_power(
+    detector: AnomalyDetector,
+    batch: SequenceBatch,
+    sparse_groups: Optional[int] = None,
+) -> FilteringPowerReport:
+    """Measure the filtering power of each bound strategy on ``batch``.
+
+    A segment counts as *filtered* by a strategy when that strategy alone can
+    decide it (declare it normal via an upper bound below ``T_n`` or anomalous
+    via a lower bound above ``T_a``) without computing the exact JS
+    reconstruction error.
+    """
+    if detector.anomaly_threshold is None:
+        raise ValueError("detector must be calibrated before measuring filtering power")
+    config = detector.config
+    omega = config.omega
+    normal_threshold = detector.normal_threshold
+    anomaly_threshold = detector.anomaly_threshold
+    sparse_groups = config.sparse_groups if sparse_groups is None else sparse_groups
+
+    total = len(batch)
+    if total == 0:
+        return FilteringPowerReport(total_segments=0, powers={})
+
+    predicted_action, predicted_interaction = detector.model.predict(
+        batch.action_sequences, batch.interaction_sequences
+    )
+    interaction_errors = interaction_reconstruction_error(
+        batch.interaction_targets, predicted_interaction
+    )
+
+    counters = {
+        "JS_max": 0,
+        "JS_min": 0,
+        "RE_G": 0,
+        "JS_max+JS_min": 0,
+        "JS_max+JS_min+RE_G": 0,
+        "ADOS": 0,
+    }
+    ados = ADOSFilter(
+        normal_threshold=normal_threshold,
+        anomaly_threshold=anomaly_threshold,
+        omega=omega,
+        trigger_low=config.trigger_low,
+        trigger_high=config.trigger_high,
+        adg_subspaces=config.adg_subspaces,
+        sparse_groups=sparse_groups,
+    )
+
+    for position in range(total):
+        feature = batch.action_targets[position]
+        reconstruction = predicted_action[position]
+        interaction_part = (1.0 - omega) * float(interaction_errors[position])
+
+        js_max_score = omega * js_upper_bound_l1(feature, reconstruction) + interaction_part
+        js_min_score = omega * js_lower_bound_l1(feature, reconstruction) + interaction_part
+        adg_score = (
+            omega
+            * adg_upper_bound(
+                feature,
+                reconstruction,
+                n_subspaces=config.adg_subspaces,
+                exact_groups=sparse_groups,
+            )
+            + interaction_part
+        )
+
+        upper_filters = js_max_score < normal_threshold
+        lower_filters = js_min_score > anomaly_threshold
+        adg_filters = adg_score <= normal_threshold
+
+        counters["JS_max"] += int(upper_filters)
+        counters["JS_min"] += int(lower_filters)
+        counters["RE_G"] += int(adg_filters)
+        counters["JS_max+JS_min"] += int(upper_filters or lower_filters)
+        counters["JS_max+JS_min+RE_G"] += int(upper_filters or lower_filters or adg_filters)
+
+        outcome = ados.decide(
+            segment_index=int(batch.target_indices[position]),
+            feature=feature,
+            reconstruction=reconstruction,
+            interaction_error=float(interaction_errors[position]),
+        )
+        counters["ADOS"] += int(outcome.stage != "exact")
+
+    powers = {name: filtering_power(count, total) for name, count in counters.items()}
+    return FilteringPowerReport(total_segments=total, powers=powers)

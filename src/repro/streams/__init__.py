@@ -1,0 +1,35 @@
+"""Simulated live social video streams (substitute for Bilibili/Twitch data).
+
+The package provides the latent influencer behaviour process, the audience
+comment process, the coupled stream generator and the INF/SPE/TED/TWI dataset
+presets used throughout the evaluation.
+"""
+
+from .events import Comment, VideoSegment, SocialVideoStream
+from .actions import ActionState, InfluencerBehaviourModel
+from .comments import AudienceModel, CommentTextGenerator
+from .generator import StreamProfile, SocialStreamGenerator
+from .datasets import (
+    DATASET_NAMES,
+    DatasetSpec,
+    dataset_profile,
+    load_dataset,
+    load_all_datasets,
+)
+
+__all__ = [
+    "Comment",
+    "VideoSegment",
+    "SocialVideoStream",
+    "ActionState",
+    "InfluencerBehaviourModel",
+    "AudienceModel",
+    "CommentTextGenerator",
+    "StreamProfile",
+    "SocialStreamGenerator",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "dataset_profile",
+    "load_dataset",
+    "load_all_datasets",
+]

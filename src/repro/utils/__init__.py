@@ -1,0 +1,26 @@
+"""Shared utilities: configuration, RNG management, validation, timing."""
+
+from .config import (
+    StreamProtocol,
+    ModelConfig,
+    TrainingConfig,
+    DetectionConfig,
+    UpdateConfig,
+)
+from .rng import make_rng, spawn_rngs, derive_rng
+from .timer import Stopwatch, TimingAccumulator
+from . import validation
+
+__all__ = [
+    "StreamProtocol",
+    "ModelConfig",
+    "TrainingConfig",
+    "DetectionConfig",
+    "UpdateConfig",
+    "make_rng",
+    "spawn_rngs",
+    "derive_rng",
+    "Stopwatch",
+    "TimingAccumulator",
+    "validation",
+]

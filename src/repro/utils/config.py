@@ -1,0 +1,161 @@
+"""Central configuration objects for the AOVLIS reproduction.
+
+The paper fixes a number of protocol constants (64-frame segments with a
+25-frame stride at 25 fps, sequence length q = 9, 400-dimensional action
+features, learning rate 0.001, etc.).  Collecting them in frozen dataclasses
+keeps the library, the examples and the benchmark harness consistent and makes
+the choices visible to downstream users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any, Dict
+
+__all__ = ["StreamProtocol", "ModelConfig", "TrainingConfig", "DetectionConfig"]
+
+
+@dataclass(frozen=True)
+class StreamProtocol:
+    """Segmentation protocol of the live stream (Section IV-A)."""
+
+    frame_rate: int = 25
+    """Frames per second after preprocessing (paper resizes every video to 25 fps)."""
+
+    segment_frames: int = 64
+    """Number of frames per video segment fed to the (simulated) I3D extractor."""
+
+    stride_frames: int = 25
+    """Sliding-window stride in frames — 1 second of video."""
+
+    sequence_length: int = 9
+    """Length q of the feature sequences fed to CLSTM (covers a 250-frame slot)."""
+
+    def segments_per_hour(self) -> int:
+        """Number of segments produced by one hour of stream."""
+        frames = 3600 * self.frame_rate
+        if frames < self.segment_frames:
+            return 0
+        return 1 + (frames - self.segment_frames) // self.stride_frames
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Dimensions of the CLSTM model and its feature inputs."""
+
+    action_dim: int = 400
+    """Dimensionality d1 of the (simulated) ResNet50-I3D action feature."""
+
+    interaction_dim: int = 32
+    """Dimensionality d2 of the audience-interaction feature."""
+
+    action_hidden: int = 128
+    """Hidden size h1 of LSTM_I."""
+
+    interaction_hidden: int = 32
+    """Hidden size h2 of LSTM_A."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def scaled(self, factor: float) -> "ModelConfig":
+        """Return a proportionally smaller configuration (used by fast tests)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return ModelConfig(
+            action_dim=max(4, int(self.action_dim * factor)),
+            interaction_dim=max(2, int(self.interaction_dim * factor)),
+            action_hidden=max(4, int(self.action_hidden * factor)),
+            interaction_hidden=max(2, int(self.interaction_hidden * factor)),
+        )
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """CLSTM training hyper-parameters (Section IV-B3 and VI-A)."""
+
+    learning_rate: float = 0.001
+    epochs: int = 100
+    batch_size: int = 32
+    omega: float = 0.8
+    """Weight of the action branch in the loss / REIA score (Fig. 9a optimum)."""
+
+    action_loss: str = "js"
+    """Reconstruction loss for the action branch: 'js' (default), 'kl' or 'l2'."""
+
+    gradient_clip: float = 5.0
+    validation_fraction: float = 0.25
+    """Paper splits normal segments 75% train / 25% validation."""
+
+    checkpoint_every: int = 50
+    """Paper saves the model every 50 epochs and keeps the best validation model."""
+
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class DetectionConfig:
+    """Anomaly identification and ADOS filtering parameters (Sections IV-C, V)."""
+
+    omega: float = 0.8
+    """Weight of RE_I in the REIA score (Eq. 16)."""
+
+    threshold: float | None = None
+    """Anomaly-score threshold tau; ``None`` selects it from training scores."""
+
+    normal_threshold_ratio: float = 0.7
+    """Paper sets T_n = 0.7 * T_a for the bound-based filtering."""
+
+    adg_subspaces: int = 20
+    """Number n of ADG value-partition subspaces (Table II)."""
+
+    adg_groups: int = 20
+    """Number of dimension groups each 400-d feature is summarised into."""
+
+    sparse_groups: int = 10
+    """N_sg: number of sparsest groups evaluated exactly (Fig. 12c)."""
+
+    trigger_low: float = 1.6
+    """ADOS threshold T1 (Fig. 12a optimum for INF/TWI)."""
+
+    trigger_high: float = 0.5
+    """ADOS threshold T2 (Fig. 12b optimum)."""
+
+    top_k: int | None = None
+    """Alternative to a threshold: report the top-k scoring segments."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class UpdateConfig:
+    """Dynamic model-update parameters (Section IV-D)."""
+
+    buffer_size: int = 300
+    """Maximal length l_s of the incoming hidden-state buffer (paper optimum)."""
+
+    drift_threshold: float = 0.4
+    """Similarity threshold tau_u below which an update is triggered."""
+
+    interaction_threshold: float | None = None
+    """Threshold T for labelling incoming segments normal; ``None`` uses the
+    running mean of the previous slot's normalised audience interaction."""
+
+    update_epochs: int = 20
+    """Epochs used when training the incremental model on buffered segments."""
+
+    merge_weight: float = 0.5
+    """Interpolation weight applied to the new model when merging with the old."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+__all__.append("UpdateConfig")

@@ -1,0 +1,93 @@
+"""Lightweight timing utilities for the efficiency experiments.
+
+The paper's efficiency evaluation (Fig. 11, Fig. 12, Section VI-C) reports
+average per-segment detection time and model-update wall time.  These helpers
+provide a context-manager stopwatch and a named accumulator that the
+benchmark harness uses to collect those numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Stopwatch", "TimingAccumulator"]
+
+
+@dataclass
+class Stopwatch:
+    """A resumable stopwatch measuring wall-clock seconds."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @contextmanager
+    def measure(self) -> Iterator["Stopwatch"]:
+        """Context manager form: ``with watch.measure(): ...``."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+class TimingAccumulator:
+    """Accumulates named timings and per-name call counts."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = defaultdict(float)
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._totals[name] += time.perf_counter() - start
+            self._counts[name] += 1
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Record an externally measured duration."""
+        self._totals[name] += seconds
+        self._counts[name] += count
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under ``name``."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of measurements recorded under ``name``."""
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per measurement (0.0 when nothing was recorded)."""
+        count = self._counts.get(name, 0)
+        return self._totals.get(name, 0.0) / count if count else 0.0
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot of all timings: ``{name: {"total": ..., "count": ..., "mean": ...}}``."""
+        return {
+            name: {"total": self._totals[name], "count": self._counts[name], "mean": self.mean(name)}
+            for name in self._totals
+        }

@@ -1,0 +1,73 @@
+"""Input validation helpers shared across the library.
+
+Validation failures raise :class:`ValueError`/:class:`TypeError` with messages
+that name the offending argument, which keeps error reporting consistent in
+the public API surface (stream generators, detectors, optimisation filters).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_probability_vector",
+    "require_matrix",
+    "as_float_array",
+]
+
+
+def require_positive(name: str, value: float) -> float:
+    """Ensure ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Ensure ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Ensure ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def require_probability_vector(name: str, vector: np.ndarray, tolerance: float = 1e-6) -> np.ndarray:
+    """Ensure ``vector`` is a non-negative vector that sums to 1 (within tolerance)."""
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {vector.shape}")
+    if np.any(vector < -tolerance):
+        raise ValueError(f"{name} must be non-negative")
+    total = float(vector.sum())
+    if not np.isclose(total, 1.0, atol=max(tolerance, 1e-6) * max(1.0, abs(total))):
+        raise ValueError(f"{name} must sum to 1, sums to {total}")
+    return vector
+
+
+def require_matrix(name: str, value: np.ndarray, columns: int | None = None) -> np.ndarray:
+    """Ensure ``value`` is a 2-D array, optionally with a fixed column count."""
+    value = np.asarray(value, dtype=np.float64)
+    if value.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {value.shape}")
+    if columns is not None and value.shape[1] != columns:
+        raise ValueError(f"{name} must have {columns} columns, got {value.shape[1]}")
+    return value
+
+
+def as_float_array(name: str, values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Convert ``values`` to a float array, rejecting NaN/inf entries."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size and not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return array

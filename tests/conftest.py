@@ -1,0 +1,85 @@
+"""Shared fixtures for the AOVLIS reproduction test-suite.
+
+Fixtures are kept deliberately tiny (seconds of simulated stream, small
+feature dimensions, few training epochs) so the whole suite runs quickly while
+still exercising every code path end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.harness import ExperimentHarness, ExperimentScale
+from repro.features.pipeline import FeaturePipeline, StreamFeatures
+from repro.streams.generator import SocialStreamGenerator, StreamProfile
+from repro.utils.config import StreamProtocol, TrainingConfig
+
+
+TINY_PROTOCOL = StreamProtocol()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_profile() -> StreamProfile:
+    """An interactive profile small enough for unit tests."""
+    return StreamProfile(
+        name="TEST",
+        motion_channels=8,
+        normal_states=3,
+        anomaly_rate=0.02,
+        anomaly_duration=6.0,
+        switch_probability=0.02,
+        audience_reactivity=0.4,
+        base_comment_rate=2.0,
+        burst_gain=8.0,
+        reaction_delay=1,
+        interactivity=1.0,
+        anomaly_visual_shift=0.2,
+        distractor_rate=0.02,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_stream(tiny_profile):
+    """A two-minute simulated stream with anomalies."""
+    generator = SocialStreamGenerator(tiny_profile, seed=11)
+    return generator.generate(150.0, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline(tiny_profile) -> FeaturePipeline:
+    return FeaturePipeline(
+        action_dim=20,
+        motion_channels=tiny_profile.motion_channels,
+        embedding_dim=6,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_features(tiny_stream, tiny_pipeline) -> StreamFeatures:
+    return tiny_pipeline.extract(tiny_stream)
+
+
+@pytest.fixture(scope="session")
+def tiny_train_test(tiny_profile, tiny_pipeline):
+    """A (train, test) StreamFeatures pair from the same simulated 'influencers'."""
+    generator = SocialStreamGenerator(tiny_profile, seed=11)
+    train = generator.generate(200.0, name="tiny-train", seed=21)
+    test = generator.generate(150.0, name="tiny-test", seed=22)
+    return tiny_pipeline.extract(train), tiny_pipeline.extract(test)
+
+
+@pytest.fixture(scope="session")
+def fast_training() -> TrainingConfig:
+    return TrainingConfig(epochs=3, batch_size=16, checkpoint_every=1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_harness() -> ExperimentHarness:
+    return ExperimentHarness(ExperimentScale.tiny())

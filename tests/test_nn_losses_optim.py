@@ -1,0 +1,162 @@
+"""Tests for losses, optimisers and checkpointing (repro.nn)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def random_distributions(rng, rows=6, cols=10):
+    raw = rng.random((rows, cols)) + 1e-3
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+class TestLosses:
+    def test_mse_zero_at_equality(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)))
+        assert nn.mse_loss(x, x).item() == pytest.approx(0.0)
+
+    def test_mse_matches_numpy(self, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(4, 3))
+        assert nn.mse_loss(Tensor(a), Tensor(b)).item() == pytest.approx(np.mean((a - b) ** 2))
+
+    def test_l2_loss_is_per_sample_norm(self, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(4, 3))
+        expected = np.mean(np.sum((a - b) ** 2, axis=1))
+        assert nn.l2_loss(Tensor(a), Tensor(b)).item() == pytest.approx(expected)
+
+    def test_kl_zero_at_equality(self, rng):
+        p = random_distributions(rng)
+        assert nn.kl_divergence_loss(Tensor(p), Tensor(p)).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_non_negative(self, rng):
+        p = random_distributions(rng)
+        q = random_distributions(rng)
+        assert nn.kl_divergence_loss(Tensor(q), Tensor(p)).item() >= 0.0
+
+    def test_js_properties(self, rng):
+        p = random_distributions(rng)
+        q = random_distributions(rng)
+        js_pq = nn.js_divergence_loss(Tensor(p), Tensor(q)).item()
+        js_qp = nn.js_divergence_loss(Tensor(q), Tensor(p)).item()
+        assert js_pq == pytest.approx(js_qp, rel=1e-9)
+        assert 0.0 <= js_pq <= np.log(2.0) + 1e-9
+        assert nn.js_divergence_loss(Tensor(p), Tensor(p)).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_weighted_loss_combines_branches(self, rng):
+        p = random_distributions(rng)
+        q = random_distributions(rng)
+        a = rng.normal(size=(6, 4))
+        b = rng.normal(size=(6, 4))
+        js = nn.js_divergence_loss(Tensor(q), Tensor(p)).item()
+        mse = nn.mse_loss(Tensor(a), Tensor(b)).item()
+        combined = nn.weighted_reconstruction_loss(
+            Tensor(q), Tensor(p), Tensor(a), Tensor(b), omega=0.7
+        ).item()
+        assert combined == pytest.approx(0.7 * js + 0.3 * mse)
+
+    def test_weighted_loss_validates_inputs(self, rng):
+        p = Tensor(random_distributions(rng))
+        a = Tensor(rng.normal(size=(6, 4)))
+        with pytest.raises(ValueError):
+            nn.weighted_reconstruction_loss(p, p, a, a, omega=1.5)
+        with pytest.raises(ValueError):
+            nn.weighted_reconstruction_loss(p, p, a, a, omega=0.5, action_loss="huber")
+
+    def test_losses_are_differentiable(self, rng):
+        prediction = Tensor(random_distributions(rng), requires_grad=True)
+        target = Tensor(random_distributions(rng))
+        nn.js_divergence_loss(prediction, target).backward()
+        assert prediction.grad is not None
+        assert np.all(np.isfinite(prediction.grad))
+
+
+class TestOptimisers:
+    @staticmethod
+    def _quadratic_problem():
+        target = np.array([1.0, -2.0, 3.0])
+        parameter = nn.Parameter(np.zeros(3))
+        return parameter, target
+
+    def test_sgd_reduces_quadratic(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = nn.SGD([parameter], lr=0.1)
+        for _ in range(200):
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = nn.SGD([parameter], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-2)
+
+    def test_adam_reduces_quadratic(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = nn.Adam([parameter], lr=0.05)
+        for _ in range(400):
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-2)
+
+    def test_optimizer_validation(self):
+        parameter = nn.Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            nn.SGD([parameter], lr=-1.0)
+        with pytest.raises(ValueError):
+            nn.Adam([parameter], lr=0.0)
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_step_skips_parameters_without_grad(self):
+        parameter = nn.Parameter(np.ones(2))
+        optimizer = nn.Adam([parameter], lr=0.1)
+        optimizer.step()  # no gradient accumulated yet
+        np.testing.assert_allclose(parameter.data, np.ones(2))
+
+    def test_clip_grad_norm(self):
+        parameter = nn.Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 10.0)
+        norm = nn.clip_grad_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_clip_grad_norm_no_grads(self):
+        assert nn.clip_grad_norm([nn.Parameter(np.zeros(2))], 1.0) == 0.0
+
+
+class TestSerialization:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        model = nn.MLP([3, 5, 2], rng=np.random.default_rng(0))
+        path = nn.save_module(model, tmp_path / "model", metadata={"dataset": "INF", "epochs": 3})
+        assert path.suffix == ".npz"
+        clone = nn.MLP([3, 5, 2], rng=np.random.default_rng(99))
+        metadata = nn.load_into_module(clone, path)
+        assert metadata == {"dataset": "INF", "epochs": 3}
+        for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            nn.load_state(tmp_path / "missing.npz")
+
+    def test_load_state_returns_arrays(self, tmp_path):
+        model = nn.Linear(2, 2)
+        path = nn.save_module(model, tmp_path / "linear.npz")
+        state, metadata = nn.load_state(path)
+        assert metadata == {}
+        assert set(state) == {"weight", "bias"}

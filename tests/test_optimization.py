@@ -1,0 +1,251 @@
+"""Tests for ADG dimensionality reduction, bounds and ADOS filtering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clstm import CLSTM
+from repro.core.detector import AnomalyDetector
+from repro.core.scoring import js_divergence
+from repro.features.sequences import build_sequences
+from repro.optimization import (
+    ADOSFilter,
+    FilteredDetector,
+    adg_upper_bound,
+    assign_subspaces,
+    build_adg,
+    evaluate_bounds,
+    evaluate_filtering_power,
+    filtering_power,
+    js_lower_bound_l1,
+    js_upper_bound_l1,
+    minimal_feature_contribution,
+    paper_group_bound,
+    subspace_boundaries,
+)
+from repro.utils.config import DetectionConfig
+
+
+def random_distribution(rng, dim=50, concentration=0.3):
+    values = rng.dirichlet(np.full(dim, concentration))
+    return values
+
+
+class TestADG:
+    def test_subspace_boundaries(self):
+        boundaries = subspace_boundaries(5)
+        np.testing.assert_allclose(boundaries, [0.5, 0.25, 0.125, 0.0625, 0.0])
+        with pytest.raises(ValueError):
+            subspace_boundaries(0)
+
+    def test_assign_subspaces_matches_boundaries(self):
+        values = np.array([0.9, 0.5, 0.3, 0.1, 0.01, 1e-9])
+        assignments = assign_subspaces(values, n=6)
+        assert assignments[0] == 0      # [0.5, 1)
+        assert assignments[1] == 0      # 0.5 falls in [0.5, 1)
+        assert assignments[2] == 1      # [0.25, 0.5)
+        assert assignments[3] == 3      # [0.0625, 0.125)
+        assert assignments[-1] == 5     # clamped to last subspace
+
+    def test_assignment_values_in_range(self, rng):
+        values = rng.random(100)
+        assignments = assign_subspaces(values, n=20)
+        assert assignments.min() >= 0
+        assert assignments.max() <= 19
+
+    def test_build_adg_partition_covers_all_dimensions(self, rng):
+        feature = random_distribution(rng)
+        adg = build_adg(feature, n_subspaces=20)
+        covered = np.concatenate(adg.group_dimensions)
+        assert sorted(covered.tolist()) == list(range(feature.size))
+        assert adg.group_sizes.sum() == feature.size
+        assert adg.dominant_dimension == int(np.argmax(feature))
+
+    def test_group_min_max_consistent(self, rng):
+        feature = random_distribution(rng)
+        adg = build_adg(feature, n_subspaces=15)
+        for dims, lo, hi in zip(adg.group_dimensions, adg.group_min, adg.group_max):
+            assert lo == pytest.approx(feature[dims].min())
+            assert hi == pytest.approx(feature[dims].max())
+            assert lo <= hi
+
+    def test_sparsest_groups(self, rng):
+        adg = build_adg(random_distribution(rng), n_subspaces=20)
+        sparse = adg.sparsest_groups(3)
+        assert len(sparse) <= 3
+        sizes = adg.group_sizes[sparse]
+        assert np.all(sizes <= np.max(adg.group_sizes))
+        assert adg.sparsest_groups(0) == []
+
+    def test_build_adg_validation(self):
+        with pytest.raises(ValueError):
+            build_adg(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            build_adg(np.array([]))
+
+    def test_mfc_decreases_with_more_subspaces(self, rng):
+        features = np.stack([random_distribution(rng) for _ in range(20)])
+        values = [minimal_feature_contribution(features, n) for n in (10, 15, 20)]
+        assert values[0] >= values[1] >= values[2]
+        assert values[-1] < 0.01
+
+    def test_mfc_accepts_single_vector(self, rng):
+        assert minimal_feature_contribution(random_distribution(rng), 20) >= 0.0
+
+
+class TestBounds:
+    def test_l1_bounds_sandwich_js(self, rng):
+        for _ in range(30):
+            p = random_distribution(rng)
+            q = random_distribution(rng)
+            exact = float(js_divergence(q, p))
+            assert js_upper_bound_l1(p, q) >= exact - 1e-9
+            assert js_lower_bound_l1(p, q) <= exact + 1e-9
+
+    def test_adg_bound_is_upper_bound(self, rng):
+        """RE_I^G >= RE_I must hold — no false dismissals."""
+        for _ in range(30):
+            p = random_distribution(rng)
+            q = random_distribution(rng)
+            exact = float(js_divergence(q, p))
+            assert adg_upper_bound(p, q, n_subspaces=20) >= exact - 1e-9
+
+    def test_adg_bound_with_exact_groups_still_upper_bound(self, rng):
+        for exact_groups in (0, 5, 10):
+            p = random_distribution(rng)
+            q = random_distribution(rng)
+            exact = float(js_divergence(q, p))
+            bound = adg_upper_bound(p, q, n_subspaces=20, exact_groups=exact_groups)
+            assert bound >= exact - 1e-9
+
+    def test_adg_bound_tightens_with_exact_groups(self, rng):
+        p = random_distribution(rng)
+        q = random_distribution(rng)
+        loose = adg_upper_bound(p, q, exact_groups=0)
+        tight = adg_upper_bound(p, q, exact_groups=15)
+        assert tight <= loose + 1e-9
+
+    def test_adg_bound_zero_for_identical(self, rng):
+        p = random_distribution(rng)
+        assert adg_upper_bound(p, p) >= 0.0
+        assert js_upper_bound_l1(p, p) == pytest.approx(0.0)
+        assert js_lower_bound_l1(p, p) == pytest.approx(0.0)
+
+    def test_adg_bound_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            adg_upper_bound(np.ones(4) / 4, np.ones(5) / 5)
+
+    def test_paper_group_bound_computes(self, rng):
+        p = random_distribution(rng)
+        q = random_distribution(rng)
+        value = paper_group_bound(p, q)
+        assert np.isfinite(value)
+
+    def test_evaluate_bounds_bundle(self, rng):
+        p = random_distribution(rng)
+        q = random_distribution(rng)
+        bundle = evaluate_bounds(p, q, include_exact=True)
+        assert bundle.js_max >= bundle.exact >= bundle.js_min - 1e-12
+        assert bundle.adg_bound >= bundle.exact - 1e-9
+
+
+def make_calibrated_detector(rng, count=60, q=4, d1=30, d2=6):
+    action = rng.dirichlet(np.full(d1, 0.3), size=count + q)
+    interaction = rng.random((count + q, d2)) * 0.3
+    batch = build_sequences(action, interaction, q)
+    model = CLSTM(action_dim=d1, interaction_dim=d2, action_hidden=10, interaction_hidden=5, seed=0)
+    detector = AnomalyDetector(model, DetectionConfig(omega=0.8))
+    detector.calibrate(batch)
+    return detector, batch
+
+
+class TestADOS:
+    def test_filter_outcomes_cover_batch(self, rng):
+        detector, batch = make_calibrated_detector(rng)
+        filtered = FilteredDetector(detector)
+        result = filtered.detect(batch)
+        assert len(result.outcomes) == len(batch)
+        assert set(result.stage_counts()) <= {"l1_normal", "l1_anomaly", "adg_normal", "exact"}
+        assert 0.0 <= result.filtering_power() <= 1.0
+        assert result.exact_computations() == result.stage_counts().get("exact", 0)
+
+    def test_filtered_decisions_match_exact_detector(self, rng):
+        """Bound-based filtering must not change any detection decision."""
+        detector, batch = make_calibrated_detector(rng)
+        exact = detector.score(batch)
+        filtered = FilteredDetector(detector).detect(batch)
+        exact_by_index = dict(zip(exact.segment_indices.tolist(), exact.is_anomaly.tolist()))
+        for outcome in filtered.outcomes:
+            assert outcome.decision == exact_by_index[outcome.segment_index]
+
+    def test_non_adaptive_strategies_also_agree(self, rng):
+        detector, batch = make_calibrated_detector(rng)
+        exact = detector.score(batch)
+        exact_by_index = dict(zip(exact.segment_indices.tolist(), exact.is_anomaly.tolist()))
+        for flags in (
+            dict(use_l1_bounds=False, use_adg_bound=False, adaptive=False),
+            dict(use_l1_bounds=True, use_adg_bound=False, adaptive=False),
+            dict(use_l1_bounds=True, use_adg_bound=True, adaptive=False),
+        ):
+            result = FilteredDetector(detector, **flags).detect(batch)
+            for outcome in result.outcomes:
+                assert outcome.decision == exact_by_index[outcome.segment_index]
+
+    def test_filter_requires_calibrated_detector(self, rng):
+        model = CLSTM(action_dim=10, interaction_dim=4, seed=0)
+        with pytest.raises(ValueError):
+            FilteredDetector(AnomalyDetector(model))
+
+    def test_ados_filter_validation(self):
+        with pytest.raises(ValueError):
+            ADOSFilter(normal_threshold=1.0, anomaly_threshold=0.5)
+        with pytest.raises(ValueError):
+            ADOSFilter(normal_threshold=0.1, anomaly_threshold=-1.0)
+        with pytest.raises(ValueError):
+            ADOSFilter(normal_threshold=0.1, anomaly_threshold=0.5, omega=1.5)
+
+    def test_trigger_disabled_when_l1_off(self, rng):
+        ados = ADOSFilter(normal_threshold=0.1, anomaly_threshold=0.5, use_l1_bounds=False)
+        p = random_distribution(rng)
+        q = random_distribution(rng)
+        assert not ados.should_use_l1(p, q)
+
+    def test_non_adaptive_always_uses_l1(self, rng):
+        ados = ADOSFilter(normal_threshold=0.1, anomaly_threshold=0.5, adaptive=False)
+        p = random_distribution(rng)
+        q = random_distribution(rng)
+        assert ados.should_use_l1(p, q)
+
+    def test_empty_batch(self, rng):
+        detector, _ = make_calibrated_detector(rng)
+        empty = build_sequences(np.ones((2, 30)) / 30, np.ones((2, 6)), 4)
+        result = FilteredDetector(detector).detect(empty)
+        assert len(result.outcomes) == 0
+        assert result.filtering_power() == 0.0
+
+
+class TestFilteringPower:
+    def test_filtering_power_metric(self):
+        assert filtering_power(5, 10) == 0.5
+        assert filtering_power(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            filtering_power(5, 3)
+
+    def test_evaluate_filtering_power_report(self, rng):
+        detector, batch = make_calibrated_detector(rng)
+        report = evaluate_filtering_power(detector, batch)
+        assert report.total_segments == len(batch)
+        powers = report.as_dict()
+        assert set(powers) == {"JS_max", "JS_min", "RE_G", "JS_max+JS_min", "JS_max+JS_min+RE_G", "ADOS"}
+        assert all(0.0 <= value <= 1.0 for value in powers.values())
+        # Combinations are at least as powerful as their components.
+        assert powers["JS_max+JS_min"] >= max(powers["JS_max"], powers["JS_min"]) - 1e-12
+        assert powers["JS_max+JS_min+RE_G"] >= powers["JS_max+JS_min"] - 1e-12
+        assert report["RE_G"] == powers["RE_G"]
+
+    def test_requires_calibrated_detector(self, rng):
+        model = CLSTM(action_dim=10, interaction_dim=4, seed=0)
+        batch = build_sequences(np.ones((10, 10)) / 10, np.ones((10, 4)), 4)
+        with pytest.raises(ValueError):
+            evaluate_filtering_power(AnomalyDetector(model), batch)

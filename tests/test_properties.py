@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.scoring import js_divergence, l1_distance, reia_score
+from repro.core.update import hidden_set_similarity
+from repro.evaluation.metrics import auroc, roc_curve
+from repro.features.sequences import build_sequences
+from repro.nn.tensor import Tensor
+from repro.optimization.adg import assign_subspaces, build_adg
+from repro.optimization.bounds import adg_upper_bound, js_lower_bound_l1, js_upper_bound_l1
+
+
+def distributions(dim=12):
+    """Strategy producing a pair of probability distributions."""
+    positive = st.floats(min_value=1e-6, max_value=1.0)
+    array = hnp.arrays(np.float64, (dim,), elements=positive)
+
+    def normalise(values):
+        values = np.asarray(values) + 1e-9
+        return values / values.sum()
+
+    return st.tuples(array.map(normalise), array.map(normalise))
+
+
+class TestScoringProperties:
+    @given(distributions())
+    @settings(max_examples=60, deadline=None)
+    def test_js_bounded_and_symmetric(self, pq):
+        p, q = pq
+        value = float(js_divergence(p, q))
+        assert -1e-12 <= value <= np.log(2) + 1e-9
+        assert value == float(js_divergence(q, p))
+
+    @given(distributions())
+    @settings(max_examples=60, deadline=None)
+    def test_l1_bounds_sandwich_js(self, pq):
+        p, q = pq
+        exact = float(js_divergence(p, q))
+        assert js_upper_bound_l1(p, q) >= exact - 1e-9
+        assert js_lower_bound_l1(p, q) <= exact + 1e-9
+
+    @given(distributions(), st.integers(min_value=2, max_value=24), st.integers(min_value=0, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_adg_bound_never_dismisses_falsely(self, pq, n_subspaces, exact_groups):
+        p, q = pq
+        exact = float(js_divergence(q, p))
+        bound = adg_upper_bound(p, q, n_subspaces=n_subspaces, exact_groups=exact_groups)
+        assert bound >= exact - 1e-9
+
+    @given(distributions(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_reia_between_components(self, pq, omega):
+        p, q = pq
+        a = np.zeros(4)
+        b = np.ones(4)
+        re_i = float(js_divergence(q, p))
+        re_a = float(np.linalg.norm(a - b))
+        score = float(reia_score(p, q, a, b, omega=omega))
+        assert min(re_i, re_a) - 1e-9 <= score <= max(re_i, re_a) + 1e-9
+
+
+class TestADGProperties:
+    @given(
+        hnp.arrays(np.float64, (30,), elements=st.floats(min_value=1e-9, max_value=1.0 - 1e-9)),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_assignment_range(self, values, n):
+        assignments = assign_subspaces(values, n)
+        assert assignments.min() >= 0
+        assert assignments.max() <= n - 1
+
+    @given(st.integers(min_value=2, max_value=25))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_is_exhaustive(self, n):
+        rng = np.random.default_rng(n)
+        feature = rng.dirichlet(np.full(40, 0.4))
+        adg = build_adg(feature, n_subspaces=n)
+        covered = np.concatenate(adg.group_dimensions)
+        assert sorted(covered.tolist()) == list(range(40))
+
+
+class TestMetricProperties:
+    @given(
+        hnp.arrays(np.int64, (40,), elements=st.integers(min_value=0, max_value=1)),
+        hnp.arrays(np.float64, (40,), elements=st.floats(min_value=0, max_value=1)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_auroc_in_unit_interval(self, labels, scores):
+        value = auroc(labels, scores)
+        if not np.isnan(value):
+            assert 0.0 <= value <= 1.0
+
+    @given(
+        hnp.arrays(np.int64, (40,), elements=st.integers(min_value=0, max_value=1)),
+        hnp.arrays(np.float64, (40,), elements=st.floats(min_value=0, max_value=1)),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_auroc_invariant_to_monotone_transform(self, labels, scores, scale):
+        baseline = auroc(labels, scores)
+        # A purely multiplicative rescaling preserves the score ordering
+        # exactly (an additive shift could erase sub-epsilon differences in
+        # floating point, which would change tied ranks).
+        transformed = auroc(labels, scores * scale)
+        if np.isnan(baseline):
+            assert np.isnan(transformed)
+        else:
+            assert baseline == pytest.approx(transformed, abs=1e-12)
+
+    @given(
+        hnp.arrays(np.int64, (30,), elements=st.integers(min_value=0, max_value=1)),
+        hnp.arrays(np.float64, (30,), elements=st.floats(min_value=0, max_value=1)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roc_is_monotone(self, labels, scores):
+        curve = roc_curve(labels, scores)
+        assert np.all(np.diff(curve.fpr) >= -1e-12)
+        assert np.all(np.diff(curve.tpr) >= -1e-12)
+
+
+class TestSimilarityProperties:
+    @given(
+        hnp.arrays(np.float64, (6, 5), elements=st.floats(min_value=-5, max_value=5)),
+        hnp.arrays(np.float64, (4, 5), elements=st.floats(min_value=-5, max_value=5)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_bounded(self, a, b):
+        value = hidden_set_similarity(a + 1e-9, b + 1e-9)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestSequenceProperties:
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=2, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_sequence_count(self, q, segments):
+        action = np.random.default_rng(q).random((segments, 3))
+        interaction = np.random.default_rng(q + 1).random((segments, 2))
+        batch = build_sequences(action, interaction, q)
+        assert len(batch) == max(0, segments - q)
+        if len(batch):
+            assert batch.target_indices[0] == q
+            np.testing.assert_allclose(batch.action_targets, action[q:])
+
+
+class TestTensorProperties:
+    @given(
+        hnp.arrays(np.float64, (3, 4), elements=st.floats(min_value=-10, max_value=10)),
+        hnp.arrays(np.float64, (3, 4), elements=st.floats(min_value=-10, max_value=10)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_addition_matches_numpy(self, a, b):
+        out = (Tensor(a) + Tensor(b)).numpy()
+        np.testing.assert_allclose(out, a + b)
+
+    @given(hnp.arrays(np.float64, (5,), elements=st.floats(min_value=-30, max_value=30)))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_is_distribution(self, values):
+        out = Tensor(values).softmax().numpy()
+        assert np.all(out >= 0)
+        assert out.sum() == np.testing.assert_allclose(out.sum(), 1.0, atol=1e-9) or True
+
+    @given(
+        hnp.arrays(np.float64, (4, 3), elements=st.floats(min_value=-3, max_value=3)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, values):
+        tensor = Tensor(values, requires_grad=True)
+        tensor.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones_like(values))

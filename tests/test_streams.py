@@ -1,0 +1,242 @@
+"""Tests for the social live-stream simulator (repro.streams)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    AudienceModel,
+    Comment,
+    CommentTextGenerator,
+    DATASET_NAMES,
+    InfluencerBehaviourModel,
+    SocialStreamGenerator,
+    SocialVideoStream,
+    StreamProfile,
+    VideoSegment,
+    dataset_profile,
+    load_all_datasets,
+    load_dataset,
+)
+from repro.utils.config import StreamProtocol
+
+
+class TestInfluencerBehaviour:
+    def test_states_are_valid_distributions(self):
+        model = InfluencerBehaviourModel(motion_channels=8, normal_states=3, rng=np.random.default_rng(0))
+        for state in model.normal_states + model.anomalous_states + model.distractor_states:
+            assert state.signature.shape == (8,)
+            assert np.all(state.signature >= 0)
+            assert state.signature.sum() == pytest.approx(1.0)
+
+    def test_anomalous_states_are_attractive(self):
+        model = InfluencerBehaviourModel(rng=np.random.default_rng(1))
+        assert all(s.attractiveness >= 0.7 for s in model.anomalous_states)
+        assert all(s.is_anomalous for s in model.anomalous_states)
+        assert all(not s.is_anomalous for s in model.normal_states)
+
+    def test_step_produces_anomalies_at_high_rate(self):
+        model = InfluencerBehaviourModel(anomaly_rate=0.5, rng=np.random.default_rng(2))
+        states = [model.step() for _ in range(50)]
+        assert any(s.is_anomalous for s in states)
+
+    def test_no_anomalies_with_zero_rate(self):
+        model = InfluencerBehaviourModel(anomaly_rate=0.0, distractor_rate=0.0, rng=np.random.default_rng(3))
+        states = [model.step() for _ in range(100)]
+        assert not any(s.is_anomalous for s in states)
+
+    def test_reset_restores_initial_state(self):
+        model = InfluencerBehaviourModel(anomaly_rate=0.9, rng=np.random.default_rng(4))
+        for _ in range(10):
+            model.step()
+        model.reset()
+        assert model.current_state is model.normal_states[0]
+
+    def test_motion_frames_are_distributions(self):
+        model = InfluencerBehaviourModel(motion_channels=6, rng=np.random.default_rng(5))
+        frames = model.motion_frames(model.normal_states[0], frames=32)
+        assert frames.shape == (32, 6)
+        np.testing.assert_allclose(frames.sum(axis=1), np.ones(32), atol=1e-9)
+        with pytest.raises(ValueError):
+            model.motion_frames(model.normal_states[0], frames=0)
+
+    def test_signature_sharing_across_instances(self):
+        shared = np.random.default_rng(7)
+        a = InfluencerBehaviourModel(rng=np.random.default_rng(1), signature_rng=np.random.default_rng(7))
+        b = InfluencerBehaviourModel(rng=np.random.default_rng(2), signature_rng=np.random.default_rng(7))
+        np.testing.assert_allclose(a.normal_states[0].signature, b.normal_states[0].signature)
+
+    def test_audience_pressure_triggers_responsive_state(self):
+        model = InfluencerBehaviourModel(
+            anomaly_rate=0.0, distractor_rate=0.0, switch_probability=0.0,
+            audience_reactivity=1.0, rng=np.random.default_rng(8),
+        )
+        states = [model.step(audience_pressure=0.9) for _ in range(20)]
+        assert any(s.name == model.responsive_state.name for s in states)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            InfluencerBehaviourModel(motion_channels=1)
+        with pytest.raises(ValueError):
+            InfluencerBehaviourModel(anomaly_rate=2.0)
+        with pytest.raises(ValueError):
+            InfluencerBehaviourModel(anomaly_visual_shift=1.5)
+
+
+class TestAudienceModel:
+    def test_counts_non_negative_and_reproducible(self):
+        a = AudienceModel(rng=np.random.default_rng(0))
+        b = AudienceModel(rng=np.random.default_rng(0))
+        counts_a = [a.step(0.1, second)[0] for second in range(30)]
+        counts_b = [b.step(0.1, second)[0] for second in range(30)]
+        assert counts_a == counts_b
+        assert all(count >= 0 for count in counts_a)
+
+    def test_attractive_actions_raise_comment_rate(self):
+        rng_quiet = np.random.default_rng(1)
+        rng_burst = np.random.default_rng(1)
+        quiet = AudienceModel(reaction_delay=0, rng=rng_quiet)
+        burst = AudienceModel(reaction_delay=0, rng=rng_burst)
+        quiet_total = sum(quiet.step(0.05, second)[0] for second in range(60))
+        burst_total = sum(burst.step(0.95, second)[0] for second in range(60))
+        assert burst_total > quiet_total
+
+    def test_reaction_delay_defers_burst(self):
+        audience = AudienceModel(reaction_delay=3, base_rate=0.0, burst_gain=10.0, rng=np.random.default_rng(2))
+        excitements = []
+        for second in range(6):
+            audience.step(1.0 if second == 0 else 0.0, second)
+            excitements.append(audience.current_excitement())
+        assert excitements[0] == pytest.approx(0.0)
+        assert max(excitements[3:]) > 0.0
+
+    def test_comment_timestamps_within_second(self):
+        audience = AudienceModel(base_rate=5.0, rng=np.random.default_rng(3))
+        _, comments = audience.step(0.5, second=42)
+        assert all(42.0 <= c.timestamp < 43.0 for c in comments)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AudienceModel(base_rate=-1)
+        with pytest.raises(ValueError):
+            AudienceModel(burst_gain=0.5)
+        with pytest.raises(ValueError):
+            AudienceModel(dispersion=0)
+
+    def test_text_generator_sentiment_shift(self):
+        generator = CommentTextGenerator(np.random.default_rng(0))
+        excited = [generator.generate(1.0)[1] for _ in range(200)]
+        calm = [generator.generate(0.0)[1] for _ in range(200)]
+        assert np.mean(excited) > np.mean(calm)
+
+
+class TestGenerator:
+    def test_segment_count_matches_protocol(self, tiny_profile):
+        protocol = StreamProtocol()
+        generator = SocialStreamGenerator(tiny_profile, protocol=protocol, seed=0)
+        stream = generator.generate(120.0)
+        total_frames = 120 * protocol.frame_rate
+        expected = 1 + (total_frames - protocol.segment_frames) // protocol.stride_frames
+        assert stream.num_segments == expected
+
+    def test_stream_is_deterministic_given_seed(self, tiny_profile):
+        a = SocialStreamGenerator(tiny_profile, seed=5).generate(100.0)
+        b = SocialStreamGenerator(tiny_profile, seed=5).generate(100.0)
+        np.testing.assert_allclose(a.comment_counts, b.comment_counts)
+        assert a.labels.tolist() == b.labels.tolist()
+        np.testing.assert_allclose(a.segments[10].motion_content, b.segments[10].motion_content)
+
+    def test_different_seeds_differ(self, tiny_profile):
+        a = SocialStreamGenerator(tiny_profile, seed=5).generate(100.0)
+        b = SocialStreamGenerator(tiny_profile, seed=6).generate(100.0)
+        assert not np.allclose(a.comment_counts, b.comment_counts)
+
+    def test_anomalies_present_and_labelled(self, tiny_stream):
+        assert tiny_stream.anomaly_rate > 0
+        anomalous = tiny_stream.anomalous_segments()
+        assert anomalous and all(s.is_anomaly for s in anomalous)
+        assert len(anomalous) + len(tiny_stream.normal_segments()) == tiny_stream.num_segments
+
+    def test_segment_fields(self, tiny_stream):
+        segment = tiny_stream.segments[0]
+        assert segment.duration() == pytest.approx(64 / 25)
+        assert segment.motion_content.shape[0] == 64
+        assert 0.0 <= segment.attractiveness <= 1.0
+
+    def test_duration_too_short_raises(self, tiny_profile):
+        with pytest.raises(ValueError):
+            SocialStreamGenerator(tiny_profile, seed=0).generate(1.0)
+
+    def test_generate_many(self, tiny_profile):
+        streams = SocialStreamGenerator(tiny_profile, seed=0).generate_many(2, 80.0)
+        assert len(streams) == 2
+        assert streams[0].name != streams[1].name
+        with pytest.raises(ValueError):
+            SocialStreamGenerator(tiny_profile, seed=0).generate_many(0, 80.0)
+
+
+class TestStreamContainer:
+    def test_comments_between(self, tiny_stream):
+        window = tiny_stream.comments_between(10.0, 20.0)
+        assert all(10.0 <= c.timestamp < 20.0 for c in window)
+
+    def test_counts_between_clipping(self, tiny_stream):
+        counts = tiny_stream.counts_between(-5, 10)
+        assert len(counts) == 10
+        assert len(tiny_stream.counts_between(50, 50)) == 0
+
+    def test_slice_time_renumbers_segments(self, tiny_stream):
+        sliced = tiny_stream.slice_time(30.0, 90.0)
+        assert sliced.segments[0].index == 0
+        assert sliced.segments[0].start_time >= 0.0
+        assert sliced.duration <= 60.0
+        with pytest.raises(ValueError):
+            tiny_stream.slice_time(50.0, 40.0)
+
+    def test_split_fractions(self, tiny_stream):
+        head, tail = tiny_stream.split(0.6)
+        assert head.duration == pytest.approx(tiny_stream.duration * 0.6, abs=1.0)
+        assert head.num_segments + tail.num_segments <= tiny_stream.num_segments + 2
+        with pytest.raises(ValueError):
+            tiny_stream.split(1.5)
+
+    def test_iteration_and_len(self, tiny_stream):
+        assert len(list(iter(tiny_stream))) == len(tiny_stream)
+
+
+class TestDatasets:
+    def test_dataset_profiles_exist(self):
+        for name in DATASET_NAMES:
+            profile = dataset_profile(name)
+            assert profile.name == name
+        with pytest.raises(KeyError):
+            dataset_profile("UNKNOWN")
+
+    def test_one_way_datasets_have_zero_reactivity(self):
+        assert dataset_profile("SPE").audience_reactivity == 0.0
+        assert dataset_profile("TED").audience_reactivity == 0.0
+        assert dataset_profile("INF").audience_reactivity > 0.0
+        assert dataset_profile("TWI").audience_reactivity > 0.0
+
+    def test_load_dataset_produces_train_and_test(self):
+        spec = load_dataset("INF", base_train_seconds=120, base_test_seconds=80, seed=3)
+        assert spec.train.num_segments > 0
+        assert spec.test.num_segments > 0
+        assert "INF" in spec.description
+
+    def test_twi_is_largest(self):
+        inf = load_dataset("INF", base_train_seconds=120, base_test_seconds=80, seed=3)
+        twi = load_dataset("TWI", base_train_seconds=120, base_test_seconds=80, seed=3)
+        assert twi.train.duration > inf.train.duration
+
+    def test_train_and_test_share_behaviour_signatures(self):
+        """Train/test splits must depict the same influencers (same styles)."""
+        spec = load_dataset("INF", base_train_seconds=150, base_test_seconds=100, seed=5)
+        train_states = {s.action_state for s in spec.train.segments}
+        test_states = {s.action_state for s in spec.test.segments}
+        assert train_states & test_states
+
+    def test_load_all_datasets(self):
+        specs = load_all_datasets(base_train_seconds=100, base_test_seconds=80, seed=2)
+        assert set(specs) == set(DATASET_NAMES)
