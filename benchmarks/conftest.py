@@ -1,8 +1,9 @@
 """Pytest configuration for the benchmark suite.
 
 Ensures the ``benchmarks`` directory itself is importable (for ``common.py``)
-and registers a session-scoped results directory so every benchmark can write
-the table/figure data it regenerates.
+and marks every benchmark ``slow`` so the default test run (which collects
+only ``tests/``, see pyproject.toml) stays fast; run the benchmarks with
+``pytest -m slow benchmarks/``.
 """
 
 from __future__ import annotations
@@ -10,6 +11,13 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+import pytest
+
 BENCHMARK_DIR = Path(__file__).resolve().parent
 if str(BENCHMARK_DIR) not in sys.path:
     sys.path.insert(0, str(BENCHMARK_DIR))
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        item.add_marker(pytest.mark.slow)

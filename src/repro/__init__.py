@@ -42,6 +42,7 @@ from .streams import (
 )
 from .baselines import LTRDetector, RTFMDetector, VECDetector, all_detectors
 from .optimization import FilteredDetector, ADOSFilter
+from .serving import MicroBatcher, ScoringService, StreamDetection, replay_streams
 from .evaluation import ExperimentHarness, ExperimentScale, auroc, roc_curve
 from .utils import (
     DetectionConfig,
@@ -80,6 +81,10 @@ __all__ = [
     "all_detectors",
     "FilteredDetector",
     "ADOSFilter",
+    "MicroBatcher",
+    "ScoringService",
+    "StreamDetection",
+    "replay_streams",
     "ExperimentHarness",
     "ExperimentScale",
     "auroc",

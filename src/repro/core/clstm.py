@@ -32,6 +32,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.fused import coupled_pair_forward_fused
 from ..nn.tensor import Tensor
 
 __all__ = ["CLSTM", "CLSTMOutput", "CouplingMode"]
@@ -177,16 +178,77 @@ class CLSTM(nn.Module):
         )
 
     # ------------------------------------------------------------------ #
-    # Convenience inference helpers
+    # Convenience inference helpers (fused, tape-free fast path)
     # ------------------------------------------------------------------ #
-    def predict(self, action_sequences: np.ndarray, interaction_sequences: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Inference-mode prediction; returns NumPy arrays ``(I_hat, A_hat)``."""
+    def _fused_hidden(
+        self, action_sequences: np.ndarray, interaction_sequences: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Final ``(h, g)`` hidden states via the fused batched forward."""
+        actions = np.asarray(
+            action_sequences.data if isinstance(action_sequences, Tensor) else action_sequences,
+            dtype=np.float64,
+        )
+        interactions = np.asarray(
+            interaction_sequences.data
+            if isinstance(interaction_sequences, Tensor)
+            else interaction_sequences,
+            dtype=np.float64,
+        )
+        return coupled_pair_forward_fused(
+            self.lstm_influencer, self.lstm_audience, actions, interactions
+        )
+
+    def predict_full(
+        self, action_sequences: np.ndarray, interaction_sequences: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One fused inference pass returning everything the online path needs.
+
+        Returns ``(I_hat, A_hat, h, g)`` as NumPy arrays: both reconstructions
+        plus both final hidden states, so callers that need reconstructions
+        *and* drift-detection hidden states (the serving scheduler, the
+        incremental updater) pay for a single forward.
+
+        Only the recurrent sweep needs the fused kernels; the decoder heads
+        are a single layer each, so they run through the real modules under
+        ``no_grad`` (tape-free) and can never drift from the training path.
+        """
+        final_h, final_g = self._fused_hidden(action_sequences, interaction_sequences)
+        with nn.no_grad():
+            action_reconstruction = self.decoder_action(Tensor(final_h)).numpy()
+            interaction_reconstruction = self.decoder_interaction(Tensor(final_g)).numpy()
+        return action_reconstruction, interaction_reconstruction, final_h, final_g
+
+    def predict(
+        self,
+        action_sequences: np.ndarray,
+        interaction_sequences: np.ndarray,
+        fused: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Inference-mode prediction; returns NumPy arrays ``(I_hat, A_hat)``.
+
+        Uses the fused batched forward by default; ``fused=False`` keeps the
+        per-timestep autograd path available as a reference (equivalence is
+        pinned to ≤1e-8 by the test-suite) and for benchmarking.
+        """
+        if fused:
+            reconstruction_i, reconstruction_a, _, _ = self.predict_full(
+                action_sequences, interaction_sequences
+            )
+            return reconstruction_i, reconstruction_a
         with nn.no_grad():
             output = self.forward(action_sequences, interaction_sequences)
         return output.action_reconstruction.numpy(), output.interaction_reconstruction.numpy()
 
-    def hidden_states(self, action_sequences: np.ndarray, interaction_sequences: np.ndarray) -> np.ndarray:
+    def hidden_states(
+        self,
+        action_sequences: np.ndarray,
+        interaction_sequences: np.ndarray,
+        fused: bool = True,
+    ) -> np.ndarray:
         """Final ``h_t`` hidden states of ``LSTM_I`` (drift-detection input)."""
+        if fused:
+            final_h, _ = self._fused_hidden(action_sequences, interaction_sequences)
+            return final_h
         with nn.no_grad():
             output = self.forward(action_sequences, interaction_sequences)
         return output.action_hidden.numpy()

@@ -21,7 +21,6 @@ from .clstm import CLSTM
 from .scoring import (
     action_reconstruction_error,
     interaction_reconstruction_error,
-    reia_score,
 )
 
 __all__ = ["DetectionResult", "AnomalyDetector"]
@@ -77,7 +76,29 @@ class AnomalyDetector:
     # ------------------------------------------------------------------ #
     def score(self, batch: SequenceBatch) -> DetectionResult:
         """Score every sequence in ``batch`` and apply the current threshold."""
-        if len(batch) == 0:
+        return self.score_arrays(
+            batch.action_sequences,
+            batch.interaction_sequences,
+            batch.action_targets,
+            batch.interaction_targets,
+            batch.target_indices,
+        )
+
+    def score_arrays(
+        self,
+        action_sequences: np.ndarray,
+        interaction_sequences: np.ndarray,
+        action_targets: np.ndarray,
+        interaction_targets: np.ndarray,
+        segment_indices: np.ndarray,
+    ) -> DetectionResult:
+        """Score raw sequence arrays in one fused batched forward pass.
+
+        This is the array-level twin of :meth:`score`, used by callers that
+        assemble batches themselves (the micro-batching scoring service
+        coalesces sequences from many concurrent streams into a single call).
+        """
+        if len(action_sequences) == 0:
             empty = np.zeros(0)
             return DetectionResult(
                 segment_indices=np.zeros(0, dtype=np.int64),
@@ -88,20 +109,40 @@ class AnomalyDetector:
                 threshold=self.anomaly_threshold if self.anomaly_threshold is not None else float("nan"),
             )
         predicted_action, predicted_interaction = self.model.predict(
-            batch.action_sequences, batch.interaction_sequences
+            action_sequences, interaction_sequences
         )
-        action_errors = action_reconstruction_error(batch.action_targets, predicted_action)
-        interaction_errors = interaction_reconstruction_error(
-            batch.interaction_targets, predicted_interaction
-        )
-        scores = reia_score(
-            batch.action_targets,
+        return self.score_predictions(
+            segment_indices,
+            action_targets,
+            interaction_targets,
             predicted_action,
-            batch.interaction_targets,
             predicted_interaction,
-            omega=self.config.omega,
         )
-        return self._decide(batch.target_indices, scores, action_errors, interaction_errors)
+
+    def score_predictions(
+        self,
+        segment_indices: np.ndarray,
+        action_targets: np.ndarray,
+        interaction_targets: np.ndarray,
+        predicted_action: np.ndarray,
+        predicted_interaction: np.ndarray,
+    ) -> DetectionResult:
+        """Score precomputed model predictions and apply the threshold.
+
+        Single home of the REIA combination (Eq. 16) on the detection path:
+        used by :meth:`score_arrays` after its own forward pass, and by the
+        serving scheduler, which shares one ``predict_full`` pass between
+        scoring and drift detection.
+        """
+        action_errors = action_reconstruction_error(action_targets, predicted_action)
+        interaction_errors = interaction_reconstruction_error(
+            interaction_targets, predicted_interaction
+        )
+        # REIA (Eq. 16) from the errors already in hand — calling reia_score
+        # here would recompute both divergences, doubling the dominant cost.
+        omega = self.config.omega
+        scores = omega * action_errors + (1.0 - omega) * interaction_errors
+        return self._decide(segment_indices, scores, action_errors, interaction_errors)
 
     def score_values(self, batch: SequenceBatch) -> np.ndarray:
         """Convenience: only the REIA scores of ``batch``."""

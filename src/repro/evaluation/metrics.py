@@ -88,14 +88,40 @@ def roc_curve(labels: Sequence[int], scores: Sequence[float]) -> RocCurve:
     return RocCurve(fpr=fpr, tpr=tpr, thresholds=thresholds)
 
 
+def _midranks(scores: np.ndarray) -> np.ndarray:
+    """1-based midranks of ``scores`` (tied values share their average rank)."""
+    order = np.argsort(scores, kind="mergesort")
+    sorted_scores = scores[order]
+    boundaries = np.nonzero(np.diff(sorted_scores))[0]
+    starts = np.concatenate([[0], boundaries + 1])
+    stops = np.concatenate([boundaries + 1, [scores.size]])
+    # A tie group occupying positions [start, stop) holds ranks start+1..stop,
+    # whose average is (start + stop + 1) / 2.
+    group_midranks = (starts + stops + 1) / 2.0
+    ranks = np.empty(scores.size, dtype=np.float64)
+    ranks[order] = np.repeat(group_midranks, stops - starts)
+    return ranks
+
+
 def auroc(labels: Sequence[int], scores: Sequence[float]) -> float:
-    """Area under the ROC curve; ``nan`` when only one class is present."""
+    """Area under the ROC curve; ``nan`` when only one class is present.
+
+    Computed rank-based, as the Mann–Whitney U statistic with midranks for
+    ties: ``AUC = (R_pos - n_pos (n_pos + 1) / 2) / (n_pos * n_neg)`` where
+    ``R_pos`` is the rank sum of the positive class.  This is mathematically
+    the trapezoid area under :func:`roc_curve` but is exact under ties —
+    ranks are half-integers, so the statistic accumulates without floating-
+    point drift and the metric is invariant under any transform that
+    preserves the ordering (and tie structure) of the scores.
+    """
     labels, scores = _validate(labels, scores)
     positives = int(labels.sum())
     negatives = int(labels.size - positives)
     if positives == 0 or negatives == 0:
         return float("nan")
-    return roc_curve(labels, scores).area()
+    ranks = _midranks(scores)
+    rank_sum = float(ranks[labels == 1].sum())
+    return (rank_sum - positives * (positives + 1) / 2.0) / (positives * negatives)
 
 
 def confusion_counts(labels: Sequence[int], predictions: Sequence[bool]) -> dict[str, int]:

@@ -10,6 +10,13 @@ from .tensor import Tensor, no_grad, is_grad_enabled
 from .module import Module, Parameter
 from .layers import Linear, Dropout, Sequential, MLP, Activation, SoftmaxHead
 from .recurrent import LSTMCell, CoupledLSTMCell, run_lstm
+from .fused import (
+    FusedGateWeights,
+    fuse_lstm_cell,
+    fuse_coupled_cell,
+    lstm_forward_fused,
+    coupled_pair_forward_fused,
+)
 from .losses import (
     mse_loss,
     l2_loss,
@@ -37,6 +44,11 @@ __all__ = [
     "LSTMCell",
     "CoupledLSTMCell",
     "run_lstm",
+    "FusedGateWeights",
+    "fuse_lstm_cell",
+    "fuse_coupled_cell",
+    "lstm_forward_fused",
+    "coupled_pair_forward_fused",
     "mse_loss",
     "l2_loss",
     "kl_divergence_loss",

@@ -22,8 +22,9 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .fused import lstm_forward_fused
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["LSTMCell", "CoupledLSTMCell", "LSTMState", "run_lstm"]
 
@@ -172,9 +173,15 @@ def run_lstm(cell: LSTMCell, sequence: Tensor, state: Optional[LSTMState] = None
     Returns the stacked hidden states ``(batch, time, hidden)`` and the final
     ``(h, c)`` state.  Used by the LSTM baseline detector.
     """
+    sequence = Tensor.ensure(sequence)
     if sequence.ndim != 3:
         raise ValueError(f"expected a (batch, time, features) tensor, got shape {sequence.shape}")
     batch, time_steps, _ = sequence.shape
+    if not is_grad_enabled():
+        # Inference fast path: fused, tape-free forward (see repro.nn.fused).
+        initial = None if state is None else (state[0].data, state[1].data)
+        hiddens, (h, c) = lstm_forward_fused(cell, sequence.data, initial)
+        return Tensor(hiddens), (Tensor(h), Tensor(c))
     if state is None:
         state = cell.initial_state(batch)
     hiddens = []

@@ -58,7 +58,12 @@ from ..features.sequences import SequenceBatch
 from ..utils.config import DetectionConfig
 from ..utils.timer import TimingAccumulator
 from .adg import build_adg
-from .bounds import adg_upper_bound, js_lower_bound_l1, js_upper_bound_l1
+from .bounds import (
+    adg_upper_bound,
+    js_lower_bound_l1,
+    js_upper_bound_l1,
+    js_upper_bounds_l1,
+)
 
 __all__ = ["FilterOutcome", "FilteredDetectionResult", "ADOSFilter", "FilteredDetector"]
 
@@ -241,6 +246,115 @@ class ADOSFilter:
         score = omega * exact + interaction_part
         return FilterOutcome(segment_index, score > self.anomaly_threshold, "exact", score)
 
+    # ------------------------------------------------------------------ #
+    # Vectorised batch cascade
+    # ------------------------------------------------------------------ #
+    _MODE_EXACT, _MODE_UPPER, _MODE_LOWER, _MODE_ALL = 0, 1, 2, 3
+
+    def trigger_modes(self, features: np.ndarray, reconstructions: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`trigger` over an ``(N, d)`` batch.
+
+        Returns an int8 array of mode codes (``_MODE_*``); semantics are
+        identical to calling :meth:`trigger` row by row.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        reconstructions = np.asarray(reconstructions, dtype=np.float64)
+        count = features.shape[0]
+        if not self.adaptive:
+            return np.full(count, self._MODE_ALL, dtype=np.int8)
+        rows = np.arange(count)
+        dominant = np.argmax(features, axis=1)
+        f_values = features[rows, dominant]
+        r_values = reconstructions[rows, dominant]
+        modes = np.full(count, self._MODE_EXACT, dtype=np.int8)
+        upper = np.abs(f_values - r_values) <= self.trigger_high
+        smaller = np.maximum(np.minimum(f_values, r_values), 1e-12)
+        ratio = np.maximum(f_values, r_values) / smaller
+        lower = ~upper & (ratio >= self.trigger_low)
+        modes[upper] = self._MODE_UPPER
+        modes[lower] = self._MODE_LOWER
+        return modes
+
+    def decide_batch(
+        self,
+        segment_indices: np.ndarray,
+        features: np.ndarray,
+        reconstructions: np.ndarray,
+        interaction_errors: np.ndarray,
+    ) -> List[FilterOutcome]:
+        """Run the ADOS cascade over a whole batch with vectorised bounds.
+
+        Produces exactly the outcomes of calling :meth:`decide` per segment
+        (same stages, decisions and scores), but evaluates the trigger, the
+        L1 bounds and the residual exact JS computations as single NumPy
+        batch operations; only the ADG group bound remains per-segment.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        reconstructions = np.asarray(reconstructions, dtype=np.float64)
+        segment_indices = np.asarray(segment_indices, dtype=np.int64)
+        interaction_parts = (1.0 - self.omega) * np.asarray(interaction_errors, dtype=np.float64)
+        count = features.shape[0]
+
+        modes = self.trigger_modes(features, reconstructions)
+        try_upper = self.use_l1_bounds & np.isin(modes, (self._MODE_UPPER, self._MODE_ALL))
+        try_lower = self.use_l1_bounds & np.isin(
+            modes, (self._MODE_UPPER, self._MODE_LOWER, self._MODE_ALL)
+        )
+        try_adg = self.use_adg_bound & np.isin(modes, (self._MODE_UPPER, self._MODE_ALL))
+
+        decided = np.zeros(count, dtype=bool)
+        decisions = np.zeros(count, dtype=bool)
+        scores = np.zeros(count, dtype=np.float64)
+        stages = np.full(count, "exact", dtype=object)
+
+        need_l1 = try_upper | try_lower
+        if need_l1.any():
+            js_max = np.zeros(count)
+            js_max[need_l1] = js_upper_bounds_l1(features[need_l1], reconstructions[need_l1])
+            upper_scores = self.omega * js_max + interaction_parts
+            normal_hits = try_upper & (upper_scores < self.normal_threshold)
+            decided[normal_hits] = True
+            stages[normal_hits] = "l1_normal"
+            scores[normal_hits] = upper_scores[normal_hits]
+            # JS_min = 0.125 * L1^2 = 0.5 * JS_max^2 (same expression as decide()).
+            lower_scores = self.omega * (0.5 * js_max * js_max) + interaction_parts
+            anomaly_hits = try_lower & ~decided & (lower_scores > self.anomaly_threshold)
+            decided[anomaly_hits] = True
+            decisions[anomaly_hits] = True
+            stages[anomaly_hits] = "l1_anomaly"
+            scores[anomaly_hits] = lower_scores[anomaly_hits]
+
+        for position in np.nonzero(~decided & try_adg)[0]:
+            adg = build_adg(features[position], n_subspaces=self.adg_subspaces)
+            re_max = adg_upper_bound(
+                features[position],
+                reconstructions[position],
+                adg=adg,
+                exact_groups=self.sparse_groups,
+            )
+            upper_score = self.omega * re_max + interaction_parts[position]
+            if upper_score <= self.normal_threshold:
+                decided[position] = True
+                stages[position] = "adg_normal"
+                scores[position] = upper_score
+
+        remaining = ~decided
+        if remaining.any():
+            exact = action_reconstruction_error(features[remaining], reconstructions[remaining])
+            exact_scores = self.omega * exact + interaction_parts[remaining]
+            scores[remaining] = exact_scores
+            decisions[remaining] = exact_scores > self.anomaly_threshold
+
+        return [
+            FilterOutcome(
+                segment_index=int(segment_indices[position]),
+                decision=bool(decisions[position]),
+                stage=str(stages[position]),
+                score=float(scores[position]),
+            )
+            for position in range(count)
+        ]
+
 
 class FilteredDetector:
     """CLSTM-ADOS: an :class:`AnomalyDetector` accelerated by bound filtering.
@@ -287,13 +401,12 @@ class FilteredDetector:
         interaction_errors = interaction_reconstruction_error(
             batch.interaction_targets, predicted_interaction
         )
-        for position in range(len(batch)):
-            with result.timings.measure("filtering"):
-                outcome = self.filter.decide(
-                    segment_index=int(batch.target_indices[position]),
-                    feature=batch.action_targets[position],
-                    reconstruction=predicted_action[position],
-                    interaction_error=float(interaction_errors[position]),
-                )
-            result.outcomes.append(outcome)
+        with result.timings.measure("filtering"):
+            outcomes = self.filter.decide_batch(
+                batch.target_indices,
+                batch.action_targets,
+                predicted_action,
+                interaction_errors,
+            )
+        result.outcomes.extend(outcomes)
         return result

@@ -43,6 +43,8 @@ from .adg import ADGRepresentation, build_adg
 __all__ = [
     "js_upper_bound_l1",
     "js_lower_bound_l1",
+    "js_upper_bounds_l1",
+    "js_lower_bounds_l1",
     "adg_upper_bound",
     "paper_group_bound",
     "BoundEvaluation",
@@ -58,6 +60,17 @@ def js_upper_bound_l1(feature: np.ndarray, reconstruction: np.ndarray) -> float:
 def js_lower_bound_l1(feature: np.ndarray, reconstruction: np.ndarray) -> float:
     """``JS_min``: 0.125 * (L1 distance)^2, a lower bound of the JS divergence."""
     distance = float(l1_distance(np.asarray(feature), np.asarray(reconstruction)))
+    return 0.125 * distance * distance
+
+
+def js_upper_bounds_l1(features: np.ndarray, reconstructions: np.ndarray) -> np.ndarray:
+    """Vectorised ``JS_max`` for an ``(N, d)`` batch of pairs."""
+    return 0.5 * l1_distance(np.asarray(features), np.asarray(reconstructions))
+
+
+def js_lower_bounds_l1(features: np.ndarray, reconstructions: np.ndarray) -> np.ndarray:
+    """Vectorised ``JS_min`` for an ``(N, d)`` batch of pairs."""
+    distance = l1_distance(np.asarray(features), np.asarray(reconstructions))
     return 0.125 * distance * distance
 
 

@@ -1,0 +1,28 @@
+"""Multi-stream serving subsystem: micro-batched online anomaly scoring.
+
+Turns the batch-oriented detector into an online service for many concurrent
+live streams: per-stream rolling history windows, a cross-stream
+micro-batching scheduler, one fused CLSTM forward per batch, per-stream
+routing of detections, and drift signals for the incremental updater.
+"""
+
+from .microbatch import MicroBatcher, ScoreRequest
+from .service import (
+    ScoringService,
+    ServiceStats,
+    StreamDetection,
+    StreamSession,
+    UpdateTrigger,
+    replay_streams,
+)
+
+__all__ = [
+    "MicroBatcher",
+    "ScoreRequest",
+    "ScoringService",
+    "ServiceStats",
+    "StreamDetection",
+    "StreamSession",
+    "UpdateTrigger",
+    "replay_streams",
+]

@@ -1,0 +1,105 @@
+"""Cross-stream micro-batching of scoring requests.
+
+Serving many concurrent live streams one segment at a time wastes the fused
+inference engine: a single ``(1, q, d)`` forward is dominated by fixed
+per-call overhead, while a ``(64, q, d)`` forward costs barely more than a
+``(8, q, d)`` one.  The :class:`MicroBatcher` therefore collects
+:class:`ScoreRequest` objects from *any* number of streams into one FIFO
+queue and releases them in batches of up to ``max_batch_size`` — the classic
+micro-batching scheduler of neural serving systems, minus the wall-clock
+deadline (the synchronous driver decides when to flush; see
+:class:`~repro.serving.service.ScoringService`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+import numpy as np
+
+__all__ = ["ScoreRequest", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class ScoreRequest:
+    """One segment of one stream, ready to be scored.
+
+    Attributes
+    ----------
+    stream_id:
+        Identifier of the originating stream (routing key for the response).
+    segment_index:
+        Index of the predicted segment within its stream.
+    action_history / interaction_history:
+        ``(q, d1)`` / ``(q, d2)`` history windows feeding the CLSTM.
+    action_target / interaction_target:
+        True features of the incoming segment (the reconstruction targets).
+    interaction_level:
+        Normalised audience-interaction level of the incoming segment; the
+        drift monitor buffers presumed-normal segments below a threshold of
+        this quantity (Section IV-D).  ``nan`` disables drift tracking for
+        the segment.
+    """
+
+    stream_id: str
+    segment_index: int
+    action_history: np.ndarray
+    interaction_history: np.ndarray
+    action_target: np.ndarray
+    interaction_target: np.ndarray
+    interaction_level: float = float("nan")
+
+
+class MicroBatcher:
+    """FIFO queue that coalesces requests from many streams into batches."""
+
+    def __init__(self, max_batch_size: int = 64) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        self.max_batch_size = max_batch_size
+        self._queue: Deque[ScoreRequest] = deque()
+        self.submitted = 0
+        self.batches_drained = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def submit(self, request: ScoreRequest) -> None:
+        """Enqueue one request (order of arrival is preserved)."""
+        self._queue.append(request)
+        self.submitted += 1
+
+    def ready(self) -> bool:
+        """Whether a full batch is waiting."""
+        return len(self._queue) >= self.max_batch_size
+
+    def drain(self) -> List[ScoreRequest]:
+        """Pop up to ``max_batch_size`` requests (empty list when idle)."""
+        batch: List[ScoreRequest] = []
+        while self._queue and len(batch) < self.max_batch_size:
+            batch.append(self._queue.popleft())
+        if batch:
+            self.batches_drained += 1
+        return batch
+
+    @staticmethod
+    def assemble(
+        requests: List[ScoreRequest],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Stack a request list into the arrays the batched scorer consumes.
+
+        Returns ``(action_sequences, interaction_sequences, action_targets,
+        interaction_targets, segment_indices)`` with leading dimension
+        ``len(requests)``.
+        """
+        if not requests:
+            raise ValueError("cannot assemble an empty batch")
+        return (
+            np.stack([r.action_history for r in requests], axis=0),
+            np.stack([r.interaction_history for r in requests], axis=0),
+            np.stack([r.action_target for r in requests], axis=0),
+            np.stack([r.interaction_target for r in requests], axis=0),
+            np.array([r.segment_index for r in requests], dtype=np.int64),
+        )

@@ -1,0 +1,399 @@
+"""Multi-stream anomaly-scoring service on top of the fused inference engine.
+
+The :class:`ScoringService` is the online counterpart of the batch
+:class:`~repro.core.detector.AnomalyDetector`: it accepts per-segment
+features from many concurrent :class:`~repro.streams.events.SocialVideoStream`
+sessions, maintains each stream's rolling ``q``-segment history window,
+coalesces ready segments *across streams* through a
+:class:`~repro.serving.microbatch.MicroBatcher`, scores every batch with a
+single fused ``predict_full`` pass, and routes the resulting detections back
+to their streams.
+
+The same forward pass also feeds the dynamic-maintenance machinery of
+Section IV-D: final ``LSTM_I`` hidden states of presumed-normal segments are
+buffered, and whenever the buffer fills, the drift check (Eq. 17) runs
+against the historical hidden-state set.  The service does *not* retrain the
+model itself — retraining is expensive and belongs on a control plane — it
+emits :class:`UpdateTrigger` events that a caller can feed to
+:class:`~repro.core.update.IncrementalUpdater`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..core.detector import AnomalyDetector
+from ..core.update import hidden_set_similarity
+from ..features.pipeline import StreamFeatures
+from ..utils.config import UpdateConfig
+from .microbatch import MicroBatcher, ScoreRequest
+
+__all__ = [
+    "StreamDetection",
+    "UpdateTrigger",
+    "ServiceStats",
+    "StreamSession",
+    "ScoringService",
+    "replay_streams",
+]
+
+
+@dataclass(frozen=True)
+class StreamDetection:
+    """One scored segment, routed back to its stream."""
+
+    stream_id: str
+    segment_index: int
+    score: float
+    action_error: float
+    interaction_error: float
+    is_anomaly: bool
+    threshold: float
+
+
+@dataclass(frozen=True)
+class UpdateTrigger:
+    """Drift signal emitted when the buffered hidden states diverge.
+
+    Mirrors :class:`~repro.core.update.UpdateDecision`: ``similarity`` is the
+    mean pairwise cosine between historical and buffered hidden states
+    (Eq. 17), and the trigger fires when it drops to ``drift_threshold`` or
+    below.
+    """
+
+    segment_index: int
+    similarity: float
+    buffered_segments: int
+    stream_ids: tuple
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate serving counters (reset with :meth:`ScoringService.reset_stats`)."""
+
+    segments_scored: int = 0
+    batches: int = 0
+    scoring_seconds: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.segments_scored / self.batches if self.batches else 0.0
+
+    def throughput(self) -> float:
+        """Scored segments per second of scoring time."""
+        if self.scoring_seconds <= 0.0:
+            return 0.0
+        return self.segments_scored / self.scoring_seconds
+
+
+class StreamSession:
+    """Rolling per-stream state: the last ``q`` feature vectors and results."""
+
+    def __init__(self, stream_id: str, sequence_length: int) -> None:
+        self.stream_id = stream_id
+        self.sequence_length = sequence_length
+        self.action_history: Deque[np.ndarray] = deque(maxlen=sequence_length)
+        self.interaction_history: Deque[np.ndarray] = deque(maxlen=sequence_length)
+        self.segments_seen = 0
+        self.detections: List[StreamDetection] = []
+
+    @property
+    def warmed_up(self) -> bool:
+        """Whether enough history exists to score the next incoming segment."""
+        return len(self.action_history) == self.sequence_length
+
+    def make_request(
+        self,
+        action_feature: np.ndarray,
+        interaction_feature: np.ndarray,
+        interaction_level: float,
+    ) -> Optional[ScoreRequest]:
+        """Observe one incoming segment; return a request once warmed up.
+
+        The current history window predicts the incoming segment (it is the
+        reconstruction target); afterwards the segment joins the window.
+        """
+        request: Optional[ScoreRequest] = None
+        if self.warmed_up:
+            request = ScoreRequest(
+                stream_id=self.stream_id,
+                segment_index=self.segments_seen,
+                action_history=np.stack(self.action_history, axis=0),
+                interaction_history=np.stack(self.interaction_history, axis=0),
+                action_target=np.asarray(action_feature, dtype=np.float64),
+                interaction_target=np.asarray(interaction_feature, dtype=np.float64),
+                interaction_level=interaction_level,
+            )
+        self.action_history.append(np.asarray(action_feature, dtype=np.float64))
+        self.interaction_history.append(np.asarray(interaction_feature, dtype=np.float64))
+        self.segments_seen += 1
+        return request
+
+
+class ScoringService:
+    """Micro-batching scoring front-end for many concurrent streams.
+
+    Parameters
+    ----------
+    detector:
+        A (typically calibrated) :class:`AnomalyDetector`; its CLSTM runs the
+        fused batched forward, its threshold logic labels the scores.
+    sequence_length:
+        History length ``q`` of each stream's rolling window.
+    max_batch_size:
+        Micro-batch capacity; :meth:`submit` flushes automatically whenever a
+        full batch has accumulated.
+    update_config:
+        Enables drift monitoring when provided (uses ``buffer_size`` and
+        ``drift_threshold``; ``interaction_threshold`` falls back to the
+        running mean of observed interaction levels, as in the paper).
+    historical_hidden:
+        Optional seed for the historical hidden-state set ``S_h``; when
+        omitted, the first full buffer becomes the history (no trigger can
+        fire before that).
+    on_update_trigger:
+        Optional callback invoked with each emitted :class:`UpdateTrigger`.
+    max_history:
+        Optional cap on the historical hidden-state set; when set, only the
+        most recent ``max_history`` rows are kept after each absorption
+        (Eq. 17 compares mean unit vectors, so a recency window changes the
+        comparison set, not the statistic).  ``None`` is paper-faithful:
+        the history grows without bound, like the offline updater's.
+    """
+
+    def __init__(
+        self,
+        detector: AnomalyDetector,
+        sequence_length: int = 9,
+        max_batch_size: int = 64,
+        update_config: Optional[UpdateConfig] = None,
+        historical_hidden: Optional[np.ndarray] = None,
+        on_update_trigger: Optional[Callable[[UpdateTrigger], None]] = None,
+        max_history: Optional[int] = None,
+    ) -> None:
+        if sequence_length < 1:
+            raise ValueError("sequence_length must be positive")
+        if max_history is not None and max_history < 1:
+            raise ValueError("max_history must be positive when set")
+        # Micro-batch composition must never influence a segment's label, so
+        # batch-relative decision rules are rejected up front: top-k ranks
+        # *within a batch*, and an uncalibrated detector would re-derive a
+        # median+MAD threshold per micro-batch — both would make detections
+        # depend on which unrelated streams happened to share the batch.
+        if detector.config.top_k is not None:
+            raise ValueError(
+                "ScoringService needs an absolute threshold; top_k ranking is "
+                "batch-relative and incompatible with micro-batched serving"
+            )
+        if detector.anomaly_threshold is None:
+            raise ValueError(
+                "ScoringService requires a calibrated detector (call "
+                "AnomalyDetector.calibrate or set DetectionConfig.threshold)"
+            )
+        self.detector = detector
+        self.sequence_length = sequence_length
+        self.batcher = MicroBatcher(max_batch_size=max_batch_size)
+        self.sessions: Dict[str, StreamSession] = {}
+        self.stats = ServiceStats()
+        self.update_config = update_config
+        self.on_update_trigger = on_update_trigger
+        self.update_triggers: List[UpdateTrigger] = []
+        self._historical_hidden = (
+            np.asarray(historical_hidden, dtype=np.float64)
+            if historical_hidden is not None
+            else None
+        )
+        self.max_history = max_history
+        self._buffer_hidden: List[np.ndarray] = []
+        self._buffer_streams: List[str] = []
+        # Running mean of observed interaction levels (O(1) per segment).
+        self._level_sum = 0.0
+        self._level_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Stream management
+    # ------------------------------------------------------------------ #
+    def session(self, stream_id: str) -> StreamSession:
+        """The (lazily created) session of ``stream_id``."""
+        if stream_id not in self.sessions:
+            self.sessions[stream_id] = StreamSession(stream_id, self.sequence_length)
+        return self.sessions[stream_id]
+
+    def detections(self, stream_id: str) -> List[StreamDetection]:
+        """All detections routed to ``stream_id`` so far."""
+        return self.session(stream_id).detections
+
+    def reset_stats(self) -> None:
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        stream_id: str,
+        action_feature: np.ndarray,
+        interaction_feature: np.ndarray,
+        interaction_level: float = float("nan"),
+    ) -> List[StreamDetection]:
+        """Feed one incoming segment of one stream into the service.
+
+        Returns the detections produced by any micro-batch this submission
+        completed (usually empty — results for this very segment arrive with
+        a later flush; this is the latency/throughput trade of micro-batching).
+        """
+        request = self.session(stream_id).make_request(
+            action_feature, interaction_feature, float(interaction_level)
+        )
+        if request is not None:
+            self.batcher.submit(request)
+        produced: List[StreamDetection] = []
+        while self.batcher.ready():
+            produced.extend(self._score_requests(self.batcher.drain()))
+        return produced
+
+    def flush(self) -> List[StreamDetection]:
+        """Score every queued request regardless of batch occupancy."""
+        produced: List[StreamDetection] = []
+        while len(self.batcher):
+            produced.extend(self._score_requests(self.batcher.drain()))
+        return produced
+
+    # ------------------------------------------------------------------ #
+    # Scoring core
+    # ------------------------------------------------------------------ #
+    def _score_requests(self, requests: List[ScoreRequest]) -> List[StreamDetection]:
+        if not requests:
+            return []
+        started = time.perf_counter()
+        (
+            action_sequences,
+            interaction_sequences,
+            action_targets,
+            interaction_targets,
+            segment_indices,
+        ) = MicroBatcher.assemble(requests)
+        predicted_action, predicted_interaction, hidden, _ = self.detector.model.predict_full(
+            action_sequences, interaction_sequences
+        )
+        result = self.detector.score_predictions(
+            segment_indices,
+            action_targets,
+            interaction_targets,
+            predicted_action,
+            predicted_interaction,
+        )
+        self.stats.scoring_seconds += time.perf_counter() - started
+        self.stats.segments_scored += len(requests)
+        self.stats.batches += 1
+
+        detections: List[StreamDetection] = []
+        for position, request in enumerate(requests):
+            detection = StreamDetection(
+                stream_id=request.stream_id,
+                segment_index=request.segment_index,
+                score=float(result.scores[position]),
+                action_error=float(result.action_errors[position]),
+                interaction_error=float(result.interaction_errors[position]),
+                is_anomaly=bool(result.is_anomaly[position]),
+                threshold=float(result.threshold),
+            )
+            detections.append(detection)
+            self.session(request.stream_id).detections.append(detection)
+        self._observe_hidden(requests, hidden)
+        return detections
+
+    # ------------------------------------------------------------------ #
+    # Drift monitoring (incremental-update triggers)
+    # ------------------------------------------------------------------ #
+    def _observe_hidden(self, requests: List[ScoreRequest], hidden: np.ndarray) -> None:
+        if self.update_config is None:
+            return
+        threshold = self._interaction_threshold()
+        for position, request in enumerate(requests):
+            level = request.interaction_level
+            if np.isnan(level):
+                continue
+            self._level_sum += level
+            self._level_count += 1
+            if level < threshold:
+                self._buffer_hidden.append(hidden[position])
+                self._buffer_streams.append(request.stream_id)
+            if len(self._buffer_hidden) >= self.update_config.buffer_size:
+                self._drift_check(request.segment_index)
+
+    def _interaction_threshold(self) -> float:
+        if self.update_config.interaction_threshold is not None:
+            return self.update_config.interaction_threshold
+        if self._level_count == 0:
+            return float("inf")  # before any observation, everything buffers
+        return self._level_sum / self._level_count
+
+    def _drift_check(self, segment_index: int) -> None:
+        incoming = np.stack(self._buffer_hidden, axis=0)
+        if self._historical_hidden is None:
+            # First full buffer seeds the history; no drift can be measured yet.
+            self._historical_hidden = incoming
+            self._clear_buffer()
+            return
+        similarity = hidden_set_similarity(self._historical_hidden, incoming)
+        if similarity <= self.update_config.drift_threshold:
+            trigger = UpdateTrigger(
+                segment_index=segment_index,
+                similarity=float(similarity),
+                buffered_segments=len(self._buffer_hidden),
+                stream_ids=tuple(sorted(set(self._buffer_streams))),
+            )
+            self.update_triggers.append(trigger)
+            if self.on_update_trigger is not None:
+                self.on_update_trigger(trigger)
+        # History absorbs the buffer either way (line 14 of Fig. 5).
+        self._historical_hidden = np.concatenate([self._historical_hidden, incoming], axis=0)
+        if self.max_history is not None and len(self._historical_hidden) > self.max_history:
+            self._historical_hidden = self._historical_hidden[-self.max_history :]
+        self._clear_buffer()
+
+    def _clear_buffer(self) -> None:
+        self._buffer_hidden.clear()
+        self._buffer_streams.clear()
+
+
+def replay_streams(
+    service: ScoringService,
+    streams: Mapping[str, StreamFeatures],
+    flush: bool = True,
+) -> List[StreamDetection]:
+    """Drive ``service`` with many streams arriving concurrently.
+
+    Segments of all streams are interleaved round-robin (segment 0 of every
+    stream, then segment 1 of every stream, ...), which is how aligned live
+    streams reach a real ingest tier.  Returns every detection produced, in
+    scoring order.
+    """
+    detections: List[StreamDetection] = []
+    longest = max((features.num_segments for features in streams.values()), default=0)
+    for position in range(longest):
+        for stream_id, features in streams.items():
+            if position >= features.num_segments:
+                continue
+            level = (
+                float(features.normalised_interaction[position])
+                if features.normalised_interaction.size > position
+                else float("nan")
+            )
+            detections.extend(
+                service.submit(
+                    stream_id,
+                    features.action[position],
+                    features.interaction[position],
+                    interaction_level=level,
+                )
+            )
+    if flush:
+        detections.extend(service.flush())
+    return detections

@@ -130,6 +130,10 @@ class DetectionConfig:
     top_k: int | None = None
     """Alternative to a threshold: report the top-k scoring segments."""
 
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.omega <= 1.0:
+            raise ValueError(f"omega must be in [0, 1], got {self.omega}")
+
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 

@@ -7,13 +7,28 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.core.scoring import js_divergence, l1_distance, reia_score
+from repro.core.clstm import CLSTM
+from repro.core.detector import AnomalyDetector
+from repro.core.scoring import (
+    interaction_reconstruction_error,
+    js_divergence,
+    l1_distance,
+    reia_score,
+)
 from repro.core.update import hidden_set_similarity
 from repro.evaluation.metrics import auroc, roc_curve
 from repro.features.sequences import build_sequences
 from repro.nn.tensor import Tensor
 from repro.optimization.adg import assign_subspaces, build_adg
-from repro.optimization.bounds import adg_upper_bound, js_lower_bound_l1, js_upper_bound_l1
+from repro.optimization.ados import FilteredDetector
+from repro.optimization.bounds import (
+    adg_upper_bound,
+    js_lower_bound_l1,
+    js_lower_bounds_l1,
+    js_upper_bound_l1,
+    js_upper_bounds_l1,
+)
+from repro.utils.config import DetectionConfig
 
 
 def distributions(dim=12):
@@ -86,6 +101,106 @@ class TestADGProperties:
         assert sorted(covered.tolist()) == list(range(40))
 
 
+def _random_model_and_batch(seed: int):
+    """A small random CLSTM plus a random scored batch (derived from seed)."""
+    rng = np.random.default_rng(seed)
+    coupling = ("both", "influencer_to_audience", "none")[seed % 3]
+    model = CLSTM(
+        action_dim=10, interaction_dim=4, action_hidden=6, interaction_hidden=3,
+        coupling=coupling, seed=seed,
+    )
+    action = rng.dirichlet(np.full(10, 0.6), size=18)
+    interaction = rng.random((18, 4))
+    batch = build_sequences(action, interaction, sequence_length=4)
+    return model, batch
+
+
+class TestModelBoundProperties:
+    """Bounds vs exact REIA for random models/batches (not just random pairs)."""
+
+    @given(st.integers(min_value=0, max_value=10_000), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_l1_bounds_bracket_exact_reia(self, seed, omega):
+        model, batch = _random_model_and_batch(seed)
+        predicted_action, predicted_interaction = model.predict(
+            batch.action_sequences, batch.interaction_sequences
+        )
+        exact = reia_score(
+            batch.action_targets, predicted_action,
+            batch.interaction_targets, predicted_interaction,
+            omega=omega,
+        )
+        interaction_part = (1.0 - omega) * interaction_reconstruction_error(
+            batch.interaction_targets, predicted_interaction
+        )
+        upper = omega * js_upper_bounds_l1(batch.action_targets, predicted_action) + interaction_part
+        lower = omega * js_lower_bounds_l1(batch.action_targets, predicted_action) + interaction_part
+        assert np.all(lower <= exact + 1e-9)
+        assert np.all(upper >= exact - 1e-9)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_adg_bound_bounds_model_reconstructions(self, seed, n_subspaces, exact_groups):
+        model, batch = _random_model_and_batch(seed)
+        predicted_action, _ = model.predict(batch.action_sequences, batch.interaction_sequences)
+        for position in range(len(batch)):
+            feature = batch.action_targets[position]
+            reconstruction = predicted_action[position]
+            exact = float(js_divergence(reconstruction, feature))
+            bound = adg_upper_bound(
+                feature, reconstruction, n_subspaces=n_subspaces, exact_groups=exact_groups
+            )
+            assert bound >= exact - 1e-9
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_decide_batch_matches_scalar_decide(self, seed, use_l1, use_adg, adaptive):
+        """The vectorised cascade must reproduce decide() outcome-for-outcome
+        (stage, decision and score), since figure code still uses the scalar
+        path while FilteredDetector uses the batch path."""
+        from repro.optimization.ados import ADOSFilter
+
+        rng = np.random.default_rng(seed)
+        ados = ADOSFilter(
+            normal_threshold=0.07, anomaly_threshold=0.1,
+            use_l1_bounds=use_l1, use_adg_bound=use_adg, adaptive=adaptive,
+            adg_subspaces=5, sparse_groups=2,
+        )
+        features = rng.dirichlet(np.full(20, 0.4), size=16)
+        noise = rng.normal(0.0, rng.choice([1e-4, 0.1]), size=(16, 20))
+        reconstructions = np.abs(features + noise) + 1e-12
+        reconstructions /= reconstructions.sum(axis=1, keepdims=True)
+        interaction_errors = rng.random(16) * 0.05
+        batch = ados.decide_batch(np.arange(16), features, reconstructions, interaction_errors)
+        for position, outcome in enumerate(batch):
+            scalar = ados.decide(
+                position, features[position], reconstructions[position],
+                float(interaction_errors[position]),
+            )
+            assert outcome == scalar
+
+    @given(st.integers(min_value=0, max_value=10_000), st.floats(min_value=0.3, max_value=0.95))
+    @settings(max_examples=12, deadline=None)
+    def test_ados_filtered_detections_equal_unfiltered(self, seed, quantile):
+        """Bound-based filtering must never change a detection decision."""
+        model, batch = _random_model_and_batch(seed)
+        detector = AnomalyDetector(model, DetectionConfig(omega=0.8, adg_subspaces=5, sparse_groups=2))
+        detector.calibrate(batch, quantile=quantile)
+        exact_result = detector.score(batch)
+        filtered = FilteredDetector(detector).detect(batch)
+        np.testing.assert_array_equal(filtered.segment_indices, exact_result.segment_indices)
+        np.testing.assert_array_equal(filtered.decisions, exact_result.is_anomaly)
+
+
 class TestMetricProperties:
     @given(
         hnp.arrays(np.int64, (40,), elements=st.integers(min_value=0, max_value=1)),
@@ -100,19 +215,30 @@ class TestMetricProperties:
     @given(
         hnp.arrays(np.int64, (40,), elements=st.integers(min_value=0, max_value=1)),
         hnp.arrays(np.float64, (40,), elements=st.floats(min_value=0, max_value=1)),
-        st.floats(min_value=0.01, max_value=10.0),
+        st.sampled_from([2.0, 4.0, 8.0, 1024.0]),
+        st.floats(min_value=0.0, max_value=100.0),
     )
     @settings(max_examples=40, deadline=None)
-    def test_auroc_invariant_to_monotone_transform(self, labels, scores, scale):
+    def test_auroc_invariant_to_monotone_transform(self, labels, scores, scale, shift):
         baseline = auroc(labels, scores)
-        # A purely multiplicative rescaling preserves the score ordering
-        # exactly (an additive shift could erase sub-epsilon differences in
-        # floating point, which would change tied ranks).
+        # The transform must preserve ordering *and* tie structure exactly in
+        # binary floating point, or the invariance claim is vacuous: e.g. an
+        # arbitrary multiplier can underflow distinct subnormals to the same
+        # value (5e-324 * 0.5 == 0.0 == 0.0 * 0.5).  Scaling up by a power of
+        # two is exact for every finite double (the mantissa is untouched), so
+        # it is a genuinely strictly monotone float transform.
         transformed = auroc(labels, scores * scale)
         if np.isnan(baseline):
             assert np.isnan(transformed)
         else:
             assert baseline == pytest.approx(transformed, abs=1e-12)
+        # An additive shift *can* merge sub-epsilon-distinct scores, which
+        # legitimately changes tied ranks — but applied to rank-preserving
+        # integers it is exact, so AUROC of the (shifted) midranks must match
+        # the rank-based metric too.
+        ranks = np.argsort(np.argsort(scores, kind="mergesort"), kind="mergesort").astype(np.float64)
+        if not np.isnan(baseline) and np.unique(scores).size == scores.size:
+            assert auroc(labels, ranks + shift) == pytest.approx(baseline, abs=1e-12)
 
     @given(
         hnp.arrays(np.int64, (30,), elements=st.integers(min_value=0, max_value=1)),
