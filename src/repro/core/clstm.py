@@ -32,6 +32,16 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.backprop import (
+    coupled_pair_backward,
+    coupled_pair_forward_cached,
+    is_softmax_head,
+    linear_backward,
+    linear_forward,
+    softmax_head_backward,
+    softmax_head_forward,
+    weighted_loss_grad,
+)
 from ..nn.fused import coupled_pair_forward_fused
 from ..nn.tensor import Tensor
 
@@ -252,6 +262,84 @@ class CLSTM(nn.Module):
         with nn.no_grad():
             output = self.forward(action_sequences, interaction_sequences)
         return output.action_hidden.numpy()
+
+    # ------------------------------------------------------------------ #
+    # Fused training engine (analytic BPTT, tape-free)
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_fused_training(self) -> bool:
+        """Whether the analytic engine's hard-coded decoder shapes apply.
+
+        Subclasses that replace either decoder with a different architecture
+        automatically fall back to the tape path in :class:`CLSTMTrainer`
+        instead of crashing mid-fit.
+        """
+        return is_softmax_head(self.decoder_action) and isinstance(
+            self.decoder_interaction, nn.Linear
+        )
+
+    def fused_training_step(
+        self,
+        action_sequences: np.ndarray,
+        interaction_sequences: np.ndarray,
+        action_targets: np.ndarray,
+        interaction_targets: np.ndarray,
+        omega: float,
+        action_loss: str = "js",
+    ) -> float:
+        """One tape-free training step: fused forward, analytic backward.
+
+        Runs the cached coupled forward, the decoder heads and the fused
+        reconstruction loss (Eq. 13) without building an autograd graph, then
+        backpropagates analytically — through the decoders, then through time
+        (:func:`repro.nn.backprop.coupled_pair_backward`).  Gradients are
+        *accumulated* into every parameter's ``.grad``, exactly like
+        ``loss.backward()`` on the tape path, and the loss value is returned.
+        The caller owns ``zero_grad`` / clipping / the optimiser step.
+        """
+        final_h, final_g, cache = coupled_pair_forward_cached(
+            self.lstm_influencer, self.lstm_audience, action_sequences, interaction_sequences
+        )
+        softmax_out, action_linear = softmax_head_forward(self.decoder_action, final_h)
+        interaction_out = linear_forward(self.decoder_interaction, final_g)
+
+        loss, d_softmax, d_interaction_out = weighted_loss_grad(
+            softmax_out,
+            action_targets,
+            interaction_out,
+            interaction_targets,
+            omega=omega,
+            action_loss=action_loss,
+        )
+        d_final_h = softmax_head_backward(action_linear, final_h, softmax_out, d_softmax)
+        d_final_g = linear_backward(self.decoder_interaction, final_g, d_interaction_out)
+        coupled_pair_backward(
+            self.lstm_influencer, self.lstm_audience, cache, d_final_h, d_final_g
+        )
+        return loss
+
+    def fused_loss(
+        self,
+        action_sequences: np.ndarray,
+        interaction_sequences: np.ndarray,
+        action_targets: np.ndarray,
+        interaction_targets: np.ndarray,
+        omega: float,
+        action_loss: str = "js",
+    ) -> float:
+        """Mean fused reconstruction loss via the tape-free forward only."""
+        action_reconstruction, interaction_reconstruction, _, _ = self.predict_full(
+            action_sequences, interaction_sequences
+        )
+        loss, _, _ = weighted_loss_grad(
+            action_reconstruction,
+            action_targets,
+            interaction_reconstruction,
+            interaction_targets,
+            omega=omega,
+            action_loss=action_loss,
+        )
+        return loss
 
     def clone_architecture(self, seed: int = 0) -> "CLSTM":
         """A freshly initialised CLSTM with the same architecture."""

@@ -7,6 +7,11 @@ Implements the training strategy of Section IV-B3:
 * CLSTM is optimised with Adam (learning rate 0.001) on the fused
   reconstruction loss ``l(I, A) = w * JSE + (1 - w) * MSE`` (Eq. 13) — the
   action-branch loss can be switched to KL or L2 to reproduce Table I;
+* by default every step runs through the analytic fused BPTT engine
+  (:mod:`repro.nn.backprop`): tape-free cached forward, hand-derived backward
+  and the flat-buffer Adam.  ``TrainingConfig(use_fused=False)`` falls back to
+  the per-op autograd tape, which remains the correctness oracle (the two
+  paths' gradients agree to ≤1e-8, see ``tests/test_fused_training.py``);
 * the model is checkpointed every ``checkpoint_every`` epochs and the
   checkpoint with the lowest validation loss is kept as the final model,
   matching the paper's "save the model every 50 epochs and test on valid set"
@@ -113,7 +118,11 @@ class CLSTMTrainer:
         rng = np.random.default_rng(config.seed)
 
         train_batch, validation_batch = self._split(sequences, rng)
-        optimizer = nn.Adam(self.model.parameters(), lr=config.learning_rate)
+        # The flat-buffer optimiser belongs to the fused engine; the tape path
+        # keeps the per-parameter step so it stays the exact pre-fused oracle.
+        optimizer = nn.Adam(
+            self.model.parameters(), lr=config.learning_rate, flat=self._use_fused()
+        )
 
         for epoch in range(1, epochs + 1):
             train_loss = self._run_epoch(train_batch, optimizer, rng)
@@ -145,6 +154,15 @@ class CLSTMTrainer:
         """Mean fused reconstruction loss of ``batch`` without training."""
         if batch is None or len(batch) == 0:
             return float("nan")
+        if self._use_fused():
+            return self.model.fused_loss(
+                batch.action_sequences,
+                batch.interaction_sequences,
+                batch.action_targets,
+                batch.interaction_targets,
+                omega=self.config.omega,
+                action_loss=self.config.action_loss,
+            )
         with nn.no_grad():
             output = self.model(batch.action_sequences, batch.interaction_sequences)
             loss = nn.weighted_reconstruction_loss(
@@ -160,6 +178,29 @@ class CLSTMTrainer:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _use_fused(self) -> bool:
+        """Whether the analytic tape-free engine handles this model.
+
+        Gated on the CLSTM type (whose ``fused_training_step``/``fused_loss``
+        carry the trainer's exact contract), not on duck-typing — other
+        models, and CLSTM subclasses with customised decoders, fall back to
+        the tape path.  A subclass that overrides ``forward`` without
+        supplying its own ``fused_training_step`` also falls back: the base
+        analytic backward would optimise a different objective than the
+        subclass's actual forward.
+        """
+        model_type = type(self.model)
+        forward_matches_engine = (
+            model_type.forward is CLSTM.forward
+            or model_type.fused_training_step is not CLSTM.fused_training_step
+        )
+        return (
+            self.config.use_fused
+            and isinstance(self.model, CLSTM)
+            and self.model.supports_fused_training
+            and forward_matches_engine
+        )
+
     def _split(self, sequences: SequenceBatch, rng: np.random.Generator) -> tuple[SequenceBatch, SequenceBatch]:
         count = len(sequences)
         validation_size = int(round(count * self.config.validation_fraction))
@@ -176,25 +217,38 @@ class CLSTMTrainer:
         count = len(batch)
         order = rng.permutation(count)
         batch_size = max(1, config.batch_size)
+        use_fused = self._use_fused()
         total_loss = 0.0
         total_samples = 0
         for start in range(0, count, batch_size):
             indices = order[start : start + batch_size]
             mini = batch.subset(indices)
-            output = self.model(mini.action_sequences, mini.interaction_sequences)
-            loss = nn.weighted_reconstruction_loss(
-                output.action_reconstruction,
-                nn.Tensor(mini.action_targets),
-                output.interaction_reconstruction,
-                nn.Tensor(mini.interaction_targets),
-                omega=config.omega,
-                action_loss=config.action_loss,
-            )
-            optimizer.zero_grad()
-            loss.backward()
+            if use_fused:
+                optimizer.zero_grad()
+                loss_value = self.model.fused_training_step(
+                    mini.action_sequences,
+                    mini.interaction_sequences,
+                    mini.action_targets,
+                    mini.interaction_targets,
+                    omega=config.omega,
+                    action_loss=config.action_loss,
+                )
+            else:
+                output = self.model(mini.action_sequences, mini.interaction_sequences)
+                loss = nn.weighted_reconstruction_loss(
+                    output.action_reconstruction,
+                    nn.Tensor(mini.action_targets),
+                    output.interaction_reconstruction,
+                    nn.Tensor(mini.interaction_targets),
+                    omega=config.omega,
+                    action_loss=config.action_loss,
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                loss_value = float(loss.item())
             if config.gradient_clip > 0:
                 nn.clip_grad_norm(self.model.parameters(), config.gradient_clip)
             optimizer.step()
-            total_loss += float(loss.item()) * len(mini)
+            total_loss += loss_value * len(mini)
             total_samples += len(mini)
         return total_loss / max(total_samples, 1)

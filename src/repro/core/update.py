@@ -23,7 +23,7 @@ alternative benchmarked in Table III and Section VI-C.6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -105,17 +105,12 @@ class IncrementalUpdater:
         self.sequence_length = sequence_length
         self.config = update_config if update_config is not None else UpdateConfig()
         base_training = training_config if training_config is not None else TrainingConfig()
-        # Incremental updates train fewer epochs on much less data.
-        self.training_config = TrainingConfig(
-            learning_rate=base_training.learning_rate,
+        # Incremental updates train fewer epochs on much less data; everything
+        # else (including the fused-engine switch) is inherited from the base.
+        self.training_config = replace(
+            base_training,
             epochs=self.config.update_epochs,
-            batch_size=base_training.batch_size,
-            omega=base_training.omega,
-            action_loss=base_training.action_loss,
-            gradient_clip=base_training.gradient_clip,
-            validation_fraction=base_training.validation_fraction,
             checkpoint_every=max(1, self.config.update_epochs // 2),
-            seed=base_training.seed,
         )
         self._historical_hidden: Optional[np.ndarray] = None
         self._buffer_action: List[np.ndarray] = []

@@ -25,6 +25,13 @@ import numpy as np
 from .. import nn
 from ..features.pipeline import StreamFeatures
 from ..features.sequences import SequenceBatch
+from ..nn.backprop import (
+    js_loss_grad,
+    lstm_backward,
+    lstm_forward_cached,
+    softmax_head_backward,
+    softmax_head_forward,
+)
 from ..nn.recurrent import LSTMCell, run_lstm
 from ..nn.tensor import Tensor
 from ..utils.config import DetectionConfig, TrainingConfig
@@ -81,6 +88,21 @@ class _LSTMOnlyModel(nn.Module):
         hiddens, state = run_lstm(self.cell, Tensor.ensure(action_sequences))
         return self.decoder(state[0])
 
+    def fused_training_step(self, action_sequences: np.ndarray, action_targets: np.ndarray) -> float:
+        """One tape-free training step on the JS reconstruction loss.
+
+        Mirrors ``js_divergence_loss(self(x), targets).backward()`` but runs
+        the cached fused forward and the analytic BPTT
+        (:mod:`repro.nn.backprop`).  Gradients accumulate into ``.grad``; the
+        JS loss value is returned.
+        """
+        final_hidden, cache = lstm_forward_cached(self.cell, np.asarray(action_sequences))
+        softmax_out, linear = softmax_head_forward(self.decoder, final_hidden)
+        loss, d_softmax = js_loss_grad(softmax_out, np.asarray(action_targets, dtype=np.float64))
+        d_final_hidden = softmax_head_backward(linear, final_hidden, softmax_out, d_softmax)
+        lstm_backward(self.cell, cache, d_final_hidden)
+        return loss
+
 
 class LSTMOnlyDetector(StreamAnomalyDetector):
     """The paper's "LSTM" competitor: action features only, no audience."""
@@ -122,17 +144,25 @@ class LSTMOnlyDetector(StreamAnomalyDetector):
     # ------------------------------------------------------------------ #
     def _train(self, batch: SequenceBatch) -> None:
         config = self.training
-        optimizer = nn.Adam(self._model.parameters(), lr=config.learning_rate)
+        # As in CLSTMTrainer.fit: the flat-buffer optimiser belongs to the
+        # fused engine; use_fused=False keeps the exact pre-fused tape setup.
+        optimizer = nn.Adam(
+            self._model.parameters(), lr=config.learning_rate, flat=config.use_fused
+        )
         rng = np.random.default_rng(config.seed)
         for _ in range(config.epochs):
             order = rng.permutation(len(batch))
             for start in range(0, len(batch), config.batch_size):
                 indices = order[start : start + config.batch_size]
                 mini = batch.subset(indices)
-                reconstruction = self._model(mini.action_sequences)
-                loss = nn.js_divergence_loss(reconstruction, nn.Tensor(mini.action_targets))
-                optimizer.zero_grad()
-                loss.backward()
+                if config.use_fused:
+                    optimizer.zero_grad()
+                    self._model.fused_training_step(mini.action_sequences, mini.action_targets)
+                else:
+                    reconstruction = self._model(mini.action_sequences)
+                    loss = nn.js_divergence_loss(reconstruction, nn.Tensor(mini.action_targets))
+                    optimizer.zero_grad()
+                    loss.backward()
                 nn.clip_grad_norm(self._model.parameters(), config.gradient_clip)
                 optimizer.step()
 

@@ -17,6 +17,14 @@ from .fused import (
     lstm_forward_fused,
     coupled_pair_forward_fused,
 )
+from .backprop import (
+    BPTTCache,
+    lstm_forward_cached,
+    lstm_backward,
+    coupled_pair_forward_cached,
+    coupled_pair_backward,
+    weighted_loss_grad,
+)
 from .losses import (
     mse_loss,
     l2_loss,
@@ -26,6 +34,7 @@ from .losses import (
 )
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .serialization import save_module, load_state, load_into_module
+from . import backprop
 from . import functional
 from . import init
 
@@ -49,6 +58,12 @@ __all__ = [
     "fuse_coupled_cell",
     "lstm_forward_fused",
     "coupled_pair_forward_fused",
+    "BPTTCache",
+    "lstm_forward_cached",
+    "lstm_backward",
+    "coupled_pair_forward_cached",
+    "coupled_pair_backward",
+    "weighted_loss_grad",
     "mse_loss",
     "l2_loss",
     "kl_divergence_loss",
@@ -61,6 +76,7 @@ __all__ = [
     "save_module",
     "load_state",
     "load_into_module",
+    "backprop",
     "functional",
     "init",
 ]

@@ -2,9 +2,10 @@
 
 The autograd :class:`~repro.nn.tensor.Tensor` path advances the CLSTM one
 time step at a time and allocates a graph node for every intermediate value.
-That is what training needs, but inference (anomaly scoring over live
-streams) only needs the forward values.  This module provides the inference
-fast path: pure-NumPy forwards that
+Inference (anomaly scoring over live streams) only needs the forward values,
+and training only needs the handful of cached activations that the analytic
+BPTT in :mod:`repro.nn.backprop` consumes — neither needs the tape.  This
+module provides the inference fast path: pure-NumPy forwards that
 
 * stack the four gate weight matrices into a single ``(K, 4H)`` matrix so
   each time step costs one GEMM per recurrent input instead of four;

@@ -7,7 +7,10 @@ reconstructed audience interaction features:
 ``l(I, A) = w * JSE(I_hat, I) + (1 - w) * MSE(A_hat, A)``
 
 Table I additionally compares training with L2, KL and JS losses on the action
-branch, so all three are provided here as differentiable loss functions.
+branch, so all three are provided here as differentiable loss functions (an
+element-mean MSE is accepted on the action branch too, giving four choices).
+Closed-form gradients of the same losses live in :mod:`repro.nn.backprop` for
+the tape-free fused training engine.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ __all__ = [
     "kl_divergence_loss",
     "js_divergence_loss",
     "weighted_reconstruction_loss",
+    "ACTION_LOSSES",
 ]
 
 _EPS = 1e-12
@@ -78,6 +82,21 @@ def js_divergence_loss(prediction: Tensor, target: Tensor) -> Tensor:
     return per_sample.mean()
 
 
+ACTION_LOSSES = {
+    "js": js_divergence_loss,
+    "kl": kl_divergence_loss,
+    "l2": l2_loss,
+    "mse": mse_loss,
+}
+"""Canonical registry of action-branch losses.
+
+Single source of truth for which losses the action branch supports:
+:func:`weighted_reconstruction_loss` dispatches through it,
+``TrainingConfig`` validates against its keys, and the analytic gradient
+table in :mod:`repro.nn.backprop` is tested to match it key-for-key.
+"""
+
+
 def weighted_reconstruction_loss(
     action_prediction: Tensor,
     action_target: Tensor,
@@ -98,17 +117,12 @@ def weighted_reconstruction_loss(
         Weight ``w`` of the action branch, in ``[0, 1]``.
     action_loss:
         Loss applied to the action branch — ``"js"`` (paper default), ``"kl"``
-        or ``"l2"`` (the Table I alternatives).
+        or ``"l2"`` (the Table I alternatives), or ``"mse"``.
     """
     if not 0.0 <= omega <= 1.0:
         raise ValueError(f"omega must be in [0, 1], got {omega}")
-    action_losses = {
-        "js": js_divergence_loss,
-        "kl": kl_divergence_loss,
-        "l2": l2_loss,
-    }
-    if action_loss not in action_losses:
-        raise ValueError(f"unknown action loss '{action_loss}'; options: {sorted(action_losses)}")
-    action_term = action_losses[action_loss](action_prediction, action_target)
+    if action_loss not in ACTION_LOSSES:
+        raise ValueError(f"unknown action loss '{action_loss}'; options: {sorted(ACTION_LOSSES)}")
+    action_term = ACTION_LOSSES[action_loss](action_prediction, action_target)
     interaction_term = mse_loss(interaction_prediction, interaction_target)
     return action_term * omega + interaction_term * (1.0 - omega)

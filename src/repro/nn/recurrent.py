@@ -12,6 +12,12 @@ state of ``LSTM_I`` and ``g`` the hidden state of ``LSTM_A``.
 :class:`CoupledLSTMCell` implements exactly this gate structure; the plain
 :class:`LSTMCell` is used by the LSTM baseline and by CLSTM-S (the one-way
 coupled ablation in the paper's evaluation).
+
+The per-timestep ``forward`` methods here are the autograd tape path.  Both
+hot loops have fused, tape-free twins: batched inference lives in
+:mod:`repro.nn.fused` and the analytic-BPTT training engine in
+:mod:`repro.nn.backprop`; the tape remains the correctness oracle both are
+tested against.
 """
 
 from __future__ import annotations

@@ -84,7 +84,7 @@ class TrainingConfig:
     """Weight of the action branch in the loss / REIA score (Fig. 9a optimum)."""
 
     action_loss: str = "js"
-    """Reconstruction loss for the action branch: 'js' (default), 'kl' or 'l2'."""
+    """Reconstruction loss for the action branch: 'js' (default), 'kl', 'l2' or 'mse'."""
 
     gradient_clip: float = 5.0
     validation_fraction: float = 0.25
@@ -94,6 +94,41 @@ class TrainingConfig:
     """Paper saves the model every 50 epochs and keeps the best validation model."""
 
     seed: int = 0
+
+    use_fused: bool = True
+    """Train through the analytic fused BPTT engine (:mod:`repro.nn.backprop`);
+    ``False`` falls back to the per-op autograd tape (the correctness oracle)."""
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be a positive integer, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be a positive integer, got {self.batch_size}")
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be a positive integer, got {self.checkpoint_every}"
+            )
+        if not 0.0 < self.validation_fraction < 1.0:
+            raise ValueError(
+                "validation_fraction must lie strictly between 0 and 1, "
+                f"got {self.validation_fraction}"
+            )
+        if not 0.0 <= self.omega <= 1.0:
+            raise ValueError(f"omega must be in [0, 1], got {self.omega}")
+        if self.gradient_clip < 0:
+            raise ValueError(
+                f"gradient_clip must be non-negative (0 disables clipping), got {self.gradient_clip}"
+            )
+        # Local import: the loss registry lives with the loss implementations
+        # (repro.nn.losses) and utils stays import-light at module load.
+        from ..nn.losses import ACTION_LOSSES
+
+        if self.action_loss not in ACTION_LOSSES:
+            raise ValueError(
+                f"unknown action_loss '{self.action_loss}'; options: {sorted(ACTION_LOSSES)}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

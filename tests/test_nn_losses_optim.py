@@ -138,6 +138,144 @@ class TestOptimisers:
     def test_clip_grad_norm_no_grads(self):
         assert nn.clip_grad_norm([nn.Parameter(np.zeros(2))], 1.0) == 0.0
 
+    def test_clip_grad_norm_zero_max_norm_disables_clipping(self):
+        """gradient_clip=0 must be an off switch, never a zero-out."""
+        parameter = nn.Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 10.0)
+        norm = nn.clip_grad_norm([parameter], max_norm=0.0)
+        assert norm == pytest.approx(20.0)
+        np.testing.assert_array_equal(parameter.grad, np.full(4, 10.0))
+
+    def test_clip_grad_norm_global_across_parameters(self, rng):
+        """The vectorised one-pass norm equals the per-parameter computation."""
+        parameters = [nn.Parameter(np.zeros((3, 2))), nn.Parameter(np.zeros(5)), nn.Parameter(np.zeros(1))]
+        grads = [rng.normal(size=p.data.shape) for p in parameters]
+        for parameter, grad in zip(parameters, grads):
+            parameter.grad = grad.copy()
+        expected = float(np.sqrt(sum((g ** 2).sum() for g in grads)))
+        norm = nn.clip_grad_norm(parameters, max_norm=expected / 2.0)
+        assert norm == pytest.approx(expected)
+        clipped = float(np.sqrt(sum((p.grad ** 2).sum() for p in parameters)))
+        assert clipped == pytest.approx(expected / 2.0)
+        # Directions are preserved.
+        for parameter, grad in zip(parameters, grads):
+            np.testing.assert_allclose(parameter.grad, grad * 0.5, rtol=1e-12)
+
+
+class TestFlatBufferOptimisers:
+    """The flat (single contiguous buffer) path must match the per-parameter
+    oracle bit-for-bit and survive external parameter rebinds."""
+
+    @staticmethod
+    def _twin_models(seed=0):
+        return (
+            nn.MLP([6, 8, 4], rng=np.random.default_rng(seed)),
+            nn.MLP([6, 8, 4], rng=np.random.default_rng(seed)),
+        )
+
+    @staticmethod
+    def _train(model, optimizer, x, y, steps=8, clip=None):
+        for _ in range(steps):
+            loss = nn.mse_loss(model(Tensor(x)), Tensor(y))
+            optimizer.zero_grad()
+            loss.backward()
+            if clip is not None:
+                nn.clip_grad_norm(model.parameters(), clip)
+            optimizer.step()
+
+    def _assert_identical(self, model_a, model_b):
+        for (name, a), (_, b) in zip(model_a.named_parameters(), model_b.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+    def test_adam_flat_matches_per_parameter(self, rng):
+        flat_model, legacy_model = self._twin_models()
+        x, y = rng.random((16, 6)), rng.random((16, 4))
+        self._train(flat_model, nn.Adam(flat_model.parameters(), lr=0.01, flat=True), x, y, clip=1.0)
+        self._train(legacy_model, nn.Adam(legacy_model.parameters(), lr=0.01, flat=False), x, y, clip=1.0)
+        self._assert_identical(flat_model, legacy_model)
+
+    def test_adam_flat_with_weight_decay(self, rng):
+        flat_model, legacy_model = self._twin_models(seed=3)
+        x, y = rng.random((12, 6)), rng.random((12, 4))
+        self._train(flat_model, nn.Adam(flat_model.parameters(), lr=0.01, weight_decay=0.1, flat=True), x, y)
+        self._train(legacy_model, nn.Adam(legacy_model.parameters(), lr=0.01, weight_decay=0.1, flat=False), x, y)
+        self._assert_identical(flat_model, legacy_model)
+
+    def test_sgd_momentum_flat_matches_per_parameter(self, rng):
+        flat_model, legacy_model = self._twin_models(seed=1)
+        x, y = rng.random((16, 6)), rng.random((16, 4))
+        self._train(flat_model, nn.SGD(flat_model.parameters(), lr=0.05, momentum=0.9, flat=True), x, y)
+        self._train(legacy_model, nn.SGD(legacy_model.parameters(), lr=0.05, momentum=0.9, flat=False), x, y)
+        self._assert_identical(flat_model, legacy_model)
+
+    def test_flat_step_skips_parameters_without_grad(self):
+        """A grad-less parameter keeps its data AND its moments untouched."""
+        with_grad_flat = nn.Parameter(np.ones(3))
+        without_grad_flat = nn.Parameter(np.ones(2) * 5.0)
+        with_grad_legacy = nn.Parameter(np.ones(3))
+        without_grad_legacy = nn.Parameter(np.ones(2) * 5.0)
+        flat = nn.Adam([with_grad_flat, without_grad_flat], lr=0.1, flat=True)
+        legacy = nn.Adam([with_grad_legacy, without_grad_legacy], lr=0.1, flat=False)
+        for step in range(3):
+            grad = np.full(3, 1.0 + step)
+            with_grad_flat.grad = grad.copy()
+            with_grad_legacy.grad = grad.copy()
+            # The second parameter intermittently gets a gradient.
+            if step == 1:
+                without_grad_flat.grad = np.full(2, 2.0)
+                without_grad_legacy.grad = np.full(2, 2.0)
+            flat.step()
+            legacy.step()
+            with_grad_flat.zero_grad()
+            without_grad_flat.zero_grad()
+            with_grad_legacy.zero_grad()
+            without_grad_legacy.zero_grad()
+        np.testing.assert_array_equal(with_grad_flat.data, with_grad_legacy.data)
+        np.testing.assert_array_equal(without_grad_flat.data, without_grad_legacy.data)
+
+    def test_flat_step_with_no_grads_is_a_no_op(self):
+        parameter = nn.Parameter(np.ones(2))
+        optimizer = nn.Adam([parameter], lr=0.1, flat=True)
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, np.ones(2))
+
+    def test_flat_survives_external_rebind(self, rng):
+        """load_state_dict between steps invalidates the cached flat buffer."""
+        model = nn.MLP([4, 3], rng=np.random.default_rng(0))
+        twin = nn.MLP([4, 3], rng=np.random.default_rng(0))
+        x, y = rng.random((8, 4)), rng.random((8, 3))
+        flat = nn.Adam(model.parameters(), lr=0.05, flat=True)
+        legacy = nn.Adam(twin.parameters(), lr=0.05, flat=False)
+        self._train(model, flat, x, y, steps=2)
+        self._train(twin, legacy, x, y, steps=2)
+        snapshot = model.state_dict()
+        model.load_state_dict(snapshot)  # rebinds every parameter.data
+        twin.load_state_dict(snapshot)
+        self._train(model, flat, x, y, steps=2)
+        self._train(twin, legacy, x, y, steps=2)
+        self._assert_identical(model, twin)
+
+    def test_flat_step_rebinds_parameter_data(self):
+        """Each step rebinds parameter.data so fused-weight caches invalidate."""
+        parameter = nn.Parameter(np.ones(3))
+        optimizer = nn.Adam([parameter], lr=0.1, flat=True)
+        before = parameter.data
+        parameter.grad = np.ones(3)
+        optimizer.step()
+        assert parameter.data is not before
+
+    def test_flat_step_keeps_gradless_parameter_binding(self):
+        """A skipped (grad-less) parameter keeps its data identity, like the
+        per-parameter path — so fused-weight caches stay warm for frozen cells."""
+        updated = nn.Parameter(np.ones(3))
+        frozen = nn.Parameter(np.ones(2) * 5.0)
+        optimizer = nn.Adam([updated, frozen], lr=0.1, flat=True)
+        before = frozen.data
+        updated.grad = np.ones(3)
+        optimizer.step()
+        assert frozen.data is before
+        np.testing.assert_array_equal(frozen.data, np.ones(2) * 5.0)
+
 
 class TestSerialization:
     def test_save_and_load_roundtrip(self, tmp_path):

@@ -52,6 +52,40 @@ class TestConfig:
         assert UpdateConfig().to_dict()["buffer_size"] == 300
         assert "frame_rate" in StreamProtocol().to_dict()
 
+    def test_training_config_defaults_to_fused_engine(self):
+        config = TrainingConfig()
+        assert config.use_fused is True
+        assert TrainingConfig(use_fused=False).use_fused is False
+
+    @pytest.mark.parametrize(
+        "kwargs, fragment",
+        [
+            ({"learning_rate": 0.0}, "learning_rate"),
+            ({"learning_rate": -0.1}, "learning_rate"),
+            ({"epochs": 0}, "epochs"),
+            ({"epochs": -3}, "epochs"),
+            ({"batch_size": 0}, "batch_size"),
+            ({"checkpoint_every": 0}, "checkpoint_every"),
+            ({"validation_fraction": 0.0}, "validation_fraction"),
+            ({"validation_fraction": 1.0}, "validation_fraction"),
+            ({"validation_fraction": -0.2}, "validation_fraction"),
+            ({"omega": 1.5}, "omega"),
+            ({"omega": -0.1}, "omega"),
+            ({"gradient_clip": -1.0}, "gradient_clip"),
+            ({"action_loss": "huber"}, "action_loss"),
+        ],
+    )
+    def test_training_config_rejects_invalid_fields(self, kwargs, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            TrainingConfig(**kwargs)
+
+    def test_training_config_accepts_boundary_values(self):
+        assert TrainingConfig(omega=0.0).omega == 0.0
+        assert TrainingConfig(omega=1.0).omega == 1.0
+        assert TrainingConfig(gradient_clip=0.0).gradient_clip == 0.0
+        assert TrainingConfig(epochs=1, batch_size=1, checkpoint_every=1).epochs == 1
+        assert TrainingConfig(action_loss="mse").action_loss == "mse"
+
 
 class TestRng:
     def test_make_rng_deterministic(self):
