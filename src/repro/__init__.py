@@ -42,11 +42,21 @@ from .streams import (
 )
 from .baselines import LTRDetector, RTFMDetector, VECDetector, all_detectors
 from .optimization import FilteredDetector, ADOSFilter
-from .serving import MicroBatcher, ScoringService, StreamDetection, replay_streams
+from .serving import (
+    MicroBatcher,
+    ModelRegistry,
+    ModelSnapshot,
+    ScoringService,
+    ShardedScoringService,
+    StreamDetection,
+    UpdatePlane,
+    replay_streams,
+)
 from .evaluation import ExperimentHarness, ExperimentScale, auroc, roc_curve
 from .utils import (
     DetectionConfig,
     ModelConfig,
+    ServingConfig,
     StreamProtocol,
     TrainingConfig,
     UpdateConfig,
@@ -82,8 +92,12 @@ __all__ = [
     "FilteredDetector",
     "ADOSFilter",
     "MicroBatcher",
+    "ModelRegistry",
+    "ModelSnapshot",
     "ScoringService",
+    "ShardedScoringService",
     "StreamDetection",
+    "UpdatePlane",
     "replay_streams",
     "ExperimentHarness",
     "ExperimentScale",
@@ -91,6 +105,7 @@ __all__ = [
     "roc_curve",
     "DetectionConfig",
     "ModelConfig",
+    "ServingConfig",
     "StreamProtocol",
     "TrainingConfig",
     "UpdateConfig",

@@ -42,7 +42,7 @@ from ..nn.backprop import (
     softmax_head_forward,
     weighted_loss_grad,
 )
-from ..nn.fused import coupled_pair_forward_fused
+from ..nn.fused import coupled_pair_forward_fused, fused_cache_fresh, prewarm_cell
 from ..nn.tensor import Tensor
 
 __all__ = ["CLSTM", "CLSTMOutput", "CouplingMode"]
@@ -351,6 +351,36 @@ class CLSTM(nn.Module):
             coupling=self.coupling,
             seed=seed,
         )
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / fused-cache management (serving registry contract)
+    # ------------------------------------------------------------------ #
+    def prewarm_fused(self) -> None:
+        """Eagerly build the fused-weight caches of both recurrent cells.
+
+        Publish paths call this so a freshly swapped-in model version serves
+        its first micro-batch without paying the weight re-stacking cost.
+        """
+        prewarm_cell(self.lstm_influencer)
+        prewarm_cell(self.lstm_audience)
+
+    def fused_fresh(self) -> bool:
+        """Whether both cells' fused caches match their live parameters."""
+        return fused_cache_fresh(self.lstm_influencer) and fused_cache_fresh(self.lstm_audience)
+
+    def snapshot(self) -> "CLSTM":
+        """An independent, serving-ready copy of this model.
+
+        The copy owns its parameter arrays (``state_dict`` copies on both
+        read and load) and has its fused caches prewarmed, so it is safe to
+        publish into a :class:`~repro.serving.registry.ModelRegistry` while
+        the original keeps training or being merged: nothing that later
+        mutates ``self`` can reach the snapshot or stale its caches.
+        """
+        copy = self.clone_architecture(seed=0)
+        copy.load_state_dict(self.state_dict())
+        copy.prewarm_fused()
+        return copy
 
     def flops_per_sequence(self, sequence_length: int) -> int:
         """Rough floating-point-operation count for one sequence.

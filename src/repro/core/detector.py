@@ -160,16 +160,34 @@ class AnomalyDetector:
         and gives the same detection behaviour on the simulated data.  The
         explicit ``DetectionConfig.threshold`` always wins when provided.
         """
+        return self._derive_threshold(batch, quantile, honour_config=True)
+
+    def recalibrate(self, batch: SequenceBatch, quantile: float = 0.98) -> float:
+        """Re-derive ``T_a`` from fresh presumed-normal data.
+
+        This is the online-maintenance twin of :meth:`calibrate`: after an
+        incremental model update the old threshold was calibrated against the
+        *old* model's score distribution, so the update plane re-scores the
+        buffered presumed-normal segments through the updated model and takes
+        the same high quantile.  Unlike :meth:`calibrate`, an explicit
+        ``DetectionConfig.threshold`` does **not** override the result — the
+        caller decides whether a pinned threshold stays authoritative.
+        """
+        return self._derive_threshold(batch, quantile, honour_config=False)
+
+    def _derive_threshold(
+        self, batch: SequenceBatch, quantile: float, honour_config: bool
+    ) -> float:
         if not 0.0 < quantile < 1.0:
             raise ValueError("quantile must be in (0, 1)")
         result = self.score(batch)
         if len(result) == 0:
             raise ValueError("cannot calibrate on an empty batch")
         self._calibration_scores = result.scores
-        if self.config.threshold is None:
-            self.anomaly_threshold = float(np.quantile(result.scores, quantile))
-        else:
+        if honour_config and self.config.threshold is not None:
             self.anomaly_threshold = self.config.threshold
+        else:
+            self.anomaly_threshold = float(np.quantile(result.scores, quantile))
         return self.anomaly_threshold
 
     @property

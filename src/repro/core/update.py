@@ -35,7 +35,43 @@ from ..utils.timer import Stopwatch
 from .clstm import CLSTM
 from .training import CLSTMTrainer
 
-__all__ = ["UpdateDecision", "hidden_set_similarity", "merge_models", "IncrementalUpdater"]
+__all__ = [
+    "UpdateDecision",
+    "hidden_set_similarity",
+    "merge_models",
+    "incremental_training_config",
+    "train_incremental",
+    "IncrementalUpdater",
+]
+
+
+def incremental_training_config(
+    base: TrainingConfig | None, update: UpdateConfig
+) -> TrainingConfig:
+    """Derive the short-budget training config used for incremental updates.
+
+    Incremental updates train fewer epochs on much less data; everything else
+    (including the fused-engine switch) is inherited from ``base``.  Shared by
+    the offline :class:`IncrementalUpdater` and the in-service
+    :class:`~repro.serving.maintenance.UpdatePlane`.
+    """
+    base = base if base is not None else TrainingConfig()
+    return replace(
+        base,
+        epochs=update.update_epochs,
+        checkpoint_every=max(1, update.update_epochs // 2),
+    )
+
+
+def train_incremental(base: CLSTM, batch: SequenceBatch, config: TrainingConfig, seed: int) -> CLSTM:
+    """Train a fresh same-architecture CLSTM on buffered presumed-normal data.
+
+    Returns the newly trained model (``CLSTM_new`` of Fig. 5); the caller
+    merges it with the previous model via :func:`merge_models`.
+    """
+    new_model = base.clone_architecture(seed=seed)
+    CLSTMTrainer(new_model, config).fit(batch)
+    return new_model
 
 
 @dataclass(frozen=True)
@@ -104,14 +140,7 @@ class IncrementalUpdater:
         self.model = model
         self.sequence_length = sequence_length
         self.config = update_config if update_config is not None else UpdateConfig()
-        base_training = training_config if training_config is not None else TrainingConfig()
-        # Incremental updates train fewer epochs on much less data; everything
-        # else (including the fused-engine switch) is inherited from the base.
-        self.training_config = replace(
-            base_training,
-            epochs=self.config.update_epochs,
-            checkpoint_every=max(1, self.config.update_epochs // 2),
-        )
+        self.training_config = incremental_training_config(training_config, self.config)
         self._historical_hidden: Optional[np.ndarray] = None
         self._buffer_action: List[np.ndarray] = []
         self._buffer_interaction: List[np.ndarray] = []
@@ -219,9 +248,9 @@ class IncrementalUpdater:
             interaction_targets=interaction[:, -1, :],
             target_indices=np.arange(action.shape[0], dtype=np.int64),
         )
-        new_model = self.model.clone_architecture(seed=self.updates_performed + 1)
-        trainer = CLSTMTrainer(new_model, self.training_config)
-        trainer.fit(batch)
+        new_model = train_incremental(
+            self.model, batch, self.training_config, seed=self.updates_performed + 1
+        )
         merged = merge_models(self.model, new_model, new_weight=self.config.merge_weight)
         self.model.load_state_dict(merged.state_dict())
 

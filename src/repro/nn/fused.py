@@ -41,6 +41,9 @@ __all__ = [
     "FusedGateWeights",
     "fuse_lstm_cell",
     "fuse_coupled_cell",
+    "fused_cache_fresh",
+    "prewarm_cell",
+    "invalidate_cell",
     "lstm_forward_fused",
     "coupled_pair_forward_fused",
     "sigmoid",
@@ -93,6 +96,20 @@ def _stack_gates(cell, hidden_rows: slice, partner_rows: Optional[slice], input_
     )
 
 
+def _cell_sources(cell) -> tuple:
+    """The eight parameter arrays whose identity keys the fused cache."""
+    return (
+        cell.w_input.data,
+        cell.w_forget.data,
+        cell.w_cell.data,
+        cell.w_output.data,
+        cell.b_input.data,
+        cell.b_forget.data,
+        cell.b_cell.data,
+        cell.b_output.data,
+    )
+
+
 def _cached_fuse(cell, builder) -> FusedGateWeights:
     """Memoise the stacked weights of ``cell`` until its parameters change.
 
@@ -103,22 +120,51 @@ def _cached_fuse(cell, builder) -> FusedGateWeights:
     entry is alive.  For micro-batch serving this removes the dominant cost of
     small-batch inference (re-stacking ~1-2 MB of weights per request).
     """
-    sources = (
-        cell.w_input.data,
-        cell.w_forget.data,
-        cell.w_cell.data,
-        cell.w_output.data,
-        cell.b_input.data,
-        cell.b_forget.data,
-        cell.b_cell.data,
-        cell.b_output.data,
-    )
+    sources = _cell_sources(cell)
     cache = getattr(cell, "_fused_cache", None)
     if cache is not None and all(held is live for held, live in zip(cache[0], sources)):
         return cache[1]
     fused = builder()
     cell._fused_cache = (sources, fused)
     return fused
+
+
+def fused_cache_fresh(cell) -> bool:
+    """Whether ``cell`` holds a fused-weight cache built from its live parameters.
+
+    This is the explicit form of the staleness check ``_cached_fuse`` applies
+    implicitly: the cache is fresh exactly when every held source array is
+    still the identical object bound to the cell's parameters.  The serving
+    registry uses it to assert the snapshot-pinning invariant (a published
+    snapshot's caches must never be rebuilt while it serves).
+    """
+    cache = getattr(cell, "_fused_cache", None)
+    if cache is None:
+        return False
+    return all(held is live for held, live in zip(cache[0], _cell_sources(cell)))
+
+
+def prewarm_cell(cell) -> FusedGateWeights:
+    """Explicitly (re)build and attach the fused-weight cache of ``cell``.
+
+    Publish paths call this once per swap so the first batch served by a new
+    model version does not pay the re-stacking cost mid-request.  Dispatches
+    on the cell type: :class:`CoupledLSTMCell` carries a ``partner_size``,
+    plain :class:`LSTMCell` does not.
+    """
+    if hasattr(cell, "partner_size"):
+        return fuse_coupled_cell(cell)
+    return fuse_lstm_cell(cell)
+
+
+def invalidate_cell(cell) -> None:
+    """Drop the fused-weight cache of ``cell`` (next fuse rebuilds it).
+
+    In-place parameter mutation (anything writing through ``parameter.data``
+    views instead of rebinding) is invisible to the identity check; callers
+    doing that must invalidate explicitly.
+    """
+    cell._fused_cache = None
 
 
 def fuse_lstm_cell(cell: "LSTMCell") -> FusedGateWeights:

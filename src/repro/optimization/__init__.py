@@ -10,10 +10,12 @@ from .adg import (
 from .bounds import (
     BoundEvaluation,
     adg_upper_bound,
+    adg_upper_bounds,
     evaluate_bounds,
     js_lower_bound_l1,
     js_upper_bound_l1,
     paper_group_bound,
+    paper_group_bounds,
 )
 from .ados import ADOSFilter, FilterOutcome, FilteredDetectionResult, FilteredDetector
 from .filtering import FilteringPowerReport, evaluate_filtering_power, filtering_power
@@ -26,10 +28,12 @@ __all__ = [
     "subspace_boundaries",
     "BoundEvaluation",
     "adg_upper_bound",
+    "adg_upper_bounds",
     "evaluate_bounds",
     "js_lower_bound_l1",
     "js_upper_bound_l1",
     "paper_group_bound",
+    "paper_group_bounds",
     "ADOSFilter",
     "FilterOutcome",
     "FilteredDetectionResult",

@@ -60,6 +60,7 @@ from ..utils.timer import TimingAccumulator
 from .adg import build_adg
 from .bounds import (
     adg_upper_bound,
+    adg_upper_bounds,
     js_lower_bound_l1,
     js_upper_bound_l1,
     js_upper_bounds_l1,
@@ -286,8 +287,9 @@ class ADOSFilter:
 
         Produces exactly the outcomes of calling :meth:`decide` per segment
         (same stages, decisions and scores), but evaluates the trigger, the
-        L1 bounds and the residual exact JS computations as single NumPy
-        batch operations; only the ADG group bound remains per-segment.
+        L1 bounds, the ADG group bound
+        (:func:`~repro.optimization.bounds.adg_upper_bounds`) and the
+        residual exact JS computations as NumPy batch operations.
         """
         features = np.asarray(features, dtype=np.float64)
         reconstructions = np.asarray(reconstructions, dtype=np.float64)
@@ -324,19 +326,20 @@ class ADOSFilter:
             stages[anomaly_hits] = "l1_anomaly"
             scores[anomaly_hits] = lower_scores[anomaly_hits]
 
-        for position in np.nonzero(~decided & try_adg)[0]:
-            adg = build_adg(features[position], n_subspaces=self.adg_subspaces)
-            re_max = adg_upper_bound(
-                features[position],
-                reconstructions[position],
-                adg=adg,
+        adg_rows = np.nonzero(~decided & try_adg)[0]
+        if adg_rows.size:
+            re_max = adg_upper_bounds(
+                features[adg_rows],
+                reconstructions[adg_rows],
+                n_subspaces=self.adg_subspaces,
                 exact_groups=self.sparse_groups,
             )
-            upper_score = self.omega * re_max + interaction_parts[position]
-            if upper_score <= self.normal_threshold:
-                decided[position] = True
-                stages[position] = "adg_normal"
-                scores[position] = upper_score
+            upper_adg = self.omega * re_max + interaction_parts[adg_rows]
+            adg_hits = upper_adg <= self.normal_threshold
+            hit_rows = adg_rows[adg_hits]
+            decided[hit_rows] = True
+            stages[hit_rows] = "adg_normal"
+            scores[hit_rows] = upper_adg[adg_hits]
 
         remaining = ~decided
         if remaining.any():

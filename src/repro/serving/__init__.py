@@ -1,13 +1,28 @@
-"""Multi-stream serving subsystem: micro-batched online anomaly scoring.
+"""Online-learning serving runtime: sharded micro-batched scoring that
+updates its own models.
 
 Turns the batch-oriented detector into an online service for many concurrent
-live streams: per-stream rolling history windows, a cross-stream
-micro-batching scheduler, one fused CLSTM forward per batch, per-stream
-routing of detections, and drift signals for the incremental updater.
+live streams — and closes the paper's dynamic-maintenance loop inside the
+runtime:
+
+* per-stream rolling history windows feed a cross-stream micro-batching
+  scheduler (count-based and wall-clock-deadline flushes), one fused CLSTM
+  forward per batch, per-stream routing of detections;
+* models live in a versioned :class:`ModelRegistry` of immutable
+  :class:`ModelSnapshot` s; a swap is an atomic version-pointer move and
+  every micro-batch pins one snapshot for its whole lifetime;
+* drift triggers are consumed by the :class:`UpdatePlane`, which retrains on
+  the buffered presumed-normal segments, merges, re-calibrates ``T_a`` and
+  publishes the new version;
+* the :class:`ShardedScoringService` routes streams across N shards (one
+  registry handle + one batcher each) for multi-model deployments.
 """
 
+from .maintenance import UpdatePlane, UpdateReport
 from .microbatch import MicroBatcher, ScoreRequest
+from .registry import ModelRegistry, ModelSnapshot, RegistryHandle
 from .service import (
+    ManualClock,
     ScoringService,
     ServiceStats,
     StreamDetection,
@@ -15,14 +30,23 @@ from .service import (
     UpdateTrigger,
     replay_streams,
 )
+from .sharding import ShardedScoringService, default_router
 
 __all__ = [
+    "ManualClock",
     "MicroBatcher",
+    "ModelRegistry",
+    "ModelSnapshot",
+    "RegistryHandle",
     "ScoreRequest",
     "ScoringService",
     "ServiceStats",
+    "ShardedScoringService",
     "StreamDetection",
     "StreamSession",
+    "UpdatePlane",
+    "UpdateReport",
     "UpdateTrigger",
+    "default_router",
     "replay_streams",
 ]

@@ -1,0 +1,169 @@
+"""In-service incremental updates: the paper's Fig. 5 loop inside the runtime.
+
+Section IV-D keeps the CLSTM fresh by buffering presumed-normal segments,
+checking drift of their hidden states (Eq. 17), and — when drift is detected
+— training a new model on the buffer and merging it with the previous one.
+PR 1 gave the serving tier the *detection* half (the scoring service emits
+:class:`~repro.serving.service.UpdateTrigger` events) and the core library
+has long had the *reaction* half (:mod:`repro.core.update`), but no code
+path connected them.
+
+The :class:`UpdatePlane` is that connection.  Attached to a scoring service,
+it consumes each drift trigger together with the service's drained
+presumed-normal sample buffer and
+
+1. trains a fresh CLSTM on the buffered windows through the fused training
+   engine (same short-budget config as the offline updater);
+2. merges it with the currently published model
+   (``merge(CLSTM_new, CLSTM_{t-1})``, convex parameter combination);
+3. re-calibrates the anomaly threshold ``T_a`` by scoring the buffer through
+   the merged model (the old threshold was calibrated against the old
+   model's score distribution) — unless an explicit
+   ``DetectionConfig.threshold`` pins it;
+4. publishes the result through the :class:`ModelRegistry`, so the swap is
+   an atomic version-pointer move and in-flight batches finish on their
+   pinned snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.detector import AnomalyDetector
+from ..core.update import incremental_training_config, merge_models, train_incremental
+from ..features.sequences import SequenceBatch
+from ..utils.config import TrainingConfig, UpdateConfig
+from ..utils.timer import Stopwatch
+from .microbatch import MicroBatcher, ScoreRequest
+from .registry import ModelRegistry, ModelSnapshot
+from .service import UpdateTrigger
+
+__all__ = ["UpdateReport", "UpdatePlane"]
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Outcome of one in-service incremental update."""
+
+    version: int
+    """Version number of the newly published snapshot."""
+
+    previous_version: int
+    """Version the update was based on (and merged with)."""
+
+    trigger: UpdateTrigger
+    """The drift trigger that caused the update."""
+
+    samples: int
+    """Number of buffered presumed-normal segments trained on."""
+
+    previous_threshold: float
+    threshold: float
+    """``T_a`` before and after re-calibration."""
+
+    seconds: float
+    """Wall-clock cost of train + merge + re-calibrate + publish."""
+
+
+class UpdatePlane:
+    """Consumes drift triggers and publishes merged model versions.
+
+    Parameters
+    ----------
+    registry:
+        The registry the serving shard reads from; updates are published back
+        into it.  A service only accepts a plane wired to its own registry.
+    update_config:
+        Merge weight and update-epoch budget (Section IV-D parameters).
+    training_config:
+        Base training configuration the short update budget is derived from
+        (fused-engine switch, learning rate, losses...).
+    recalibration_quantile:
+        Quantile of the buffered-sample scores that becomes the new ``T_a``
+        (matches :meth:`AnomalyDetector.calibrate`'s default practice).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        update_config: Optional[UpdateConfig] = None,
+        training_config: Optional[TrainingConfig] = None,
+        recalibration_quantile: float = 0.98,
+    ) -> None:
+        if not 0.0 < recalibration_quantile < 1.0:
+            raise ValueError("recalibration_quantile must be in (0, 1)")
+        self.registry = registry
+        self.update_config = update_config if update_config is not None else UpdateConfig()
+        self.training_config = incremental_training_config(training_config, self.update_config)
+        self.recalibration_quantile = recalibration_quantile
+        self.reports: List[UpdateReport] = []
+        self.total_update_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def updates_performed(self) -> int:
+        return len(self.reports)
+
+    @staticmethod
+    def assemble_samples(samples: Sequence[ScoreRequest]) -> SequenceBatch:
+        """Stack buffered score requests into a training batch.
+
+        Each presumed-normal request already carries exactly what training
+        needs: its ``q``-segment history window as the input sequence and the
+        observed incoming segment as the reconstruction target.
+        """
+        # MicroBatcher.assemble's return order matches SequenceBatch's field
+        # order by construction; sharing it keeps the training batch stacked
+        # exactly like the scoring batch.
+        return SequenceBatch(*MicroBatcher.assemble(list(samples)))
+
+    def handle_trigger(
+        self, trigger: UpdateTrigger, samples: Sequence[ScoreRequest]
+    ) -> UpdateReport:
+        """Run one full update: train on ``samples``, merge, re-calibrate, publish."""
+        batch = self.assemble_samples(samples)
+        base = self.registry.latest()
+        stopwatch = Stopwatch().start()
+
+        new_model = train_incremental(
+            base.model, batch, self.training_config, seed=self.updates_performed + 1
+        )
+        merged = merge_models(base.model, new_model, new_weight=self.update_config.merge_weight)
+        threshold = self._recalibrate(base, merged, batch)
+
+        snapshot = self.registry.publish(
+            merged,
+            threshold,
+            reason="incremental-update",
+            metadata={
+                "similarity": trigger.similarity,
+                "trigger_segment": float(trigger.segment_index),
+                "samples": float(len(samples)),
+            },
+            # merge_models already built a private model; adopting it avoids
+            # one more full parameter copy per swap.
+            copy=False,
+        )
+        elapsed = stopwatch.stop()
+        report = UpdateReport(
+            version=snapshot.version,
+            previous_version=base.version,
+            trigger=trigger,
+            samples=len(samples),
+            previous_threshold=base.threshold,
+            threshold=threshold,
+            seconds=elapsed,
+        )
+        self.reports.append(report)
+        self.total_update_seconds += elapsed
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _recalibrate(self, base: ModelSnapshot, merged, batch: SequenceBatch) -> float:
+        """New ``T_a`` for the merged model (explicit config threshold wins)."""
+        config = self.registry.detection_config
+        if config.threshold is not None:
+            return float(config.threshold)
+        probe = AnomalyDetector(merged, config)
+        return probe.recalibrate(batch, quantile=self.recalibration_quantile)

@@ -6,8 +6,9 @@ per-call overhead, while a ``(64, q, d)`` forward costs barely more than a
 ``(8, q, d)`` one.  The :class:`MicroBatcher` therefore collects
 :class:`ScoreRequest` objects from *any* number of streams into one FIFO
 queue and releases them in batches of up to ``max_batch_size`` — the classic
-micro-batching scheduler of neural serving systems, minus the wall-clock
-deadline (the synchronous driver decides when to flush; see
+micro-batching scheduler of neural serving systems, including the optional
+wall-clock flush deadline (``max_delay_seconds``) that bounds tail latency
+when fan-in is too low to fill batches (see
 :class:`~repro.serving.service.ScoringService`).
 """
 
@@ -15,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Tuple
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,33 +54,67 @@ class ScoreRequest:
 
 
 class MicroBatcher:
-    """FIFO queue that coalesces requests from many streams into batches."""
+    """FIFO queue that coalesces requests from many streams into batches.
 
-    def __init__(self, max_batch_size: int = 64) -> None:
+    Two flush conditions are supported: the count-based :meth:`ready` (a
+    full batch is waiting) and, when ``max_delay_seconds`` is set, the
+    wall-clock :meth:`expired` deadline — the oldest queued request has
+    waited at least ``max_delay_seconds``.  The deadline bounds tail latency
+    at low stream fan-in, where a full batch may take arbitrarily long to
+    accumulate.  Time is supplied by the caller (``now``), so services can
+    use a monotonic clock in production and a manual clock in tests.
+    """
+
+    def __init__(
+        self, max_batch_size: int = 64, max_delay_seconds: Optional[float] = None
+    ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
+        if max_delay_seconds is not None and max_delay_seconds < 0:
+            raise ValueError("max_delay_seconds must be non-negative when set")
         self.max_batch_size = max_batch_size
+        self.max_delay_seconds = max_delay_seconds
         self._queue: Deque[ScoreRequest] = deque()
+        self._arrivals: Deque[Optional[float]] = deque()
         self.submitted = 0
         self.batches_drained = 0
 
     def __len__(self) -> int:
         return len(self._queue)
 
-    def submit(self, request: ScoreRequest) -> None:
-        """Enqueue one request (order of arrival is preserved)."""
+    def submit(self, request: ScoreRequest, now: Optional[float] = None) -> None:
+        """Enqueue one request (order of arrival is preserved).
+
+        ``now`` stamps the arrival for deadline accounting; deadline-less
+        callers can omit it.
+        """
         self._queue.append(request)
+        self._arrivals.append(now)
         self.submitted += 1
 
     def ready(self) -> bool:
         """Whether a full batch is waiting."""
         return len(self._queue) >= self.max_batch_size
 
+    def oldest_arrival(self) -> Optional[float]:
+        """Arrival stamp of the queue head (None when idle or unstamped)."""
+        return self._arrivals[0] if self._arrivals else None
+
+    def expired(self, now: float) -> bool:
+        """Whether the head request has outlived the flush deadline."""
+        if self.max_delay_seconds is None or not self._queue:
+            return False
+        oldest = self._arrivals[0]
+        if oldest is None:
+            return False
+        return (now - oldest) >= self.max_delay_seconds
+
     def drain(self) -> List[ScoreRequest]:
         """Pop up to ``max_batch_size`` requests (empty list when idle)."""
         batch: List[ScoreRequest] = []
         while self._queue and len(batch) < self.max_batch_size:
             batch.append(self._queue.popleft())
+            self._arrivals.popleft()
         if batch:
             self.batches_drained += 1
         return batch

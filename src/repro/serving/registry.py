@@ -1,0 +1,253 @@
+"""Versioned model registry for the online-learning serving runtime.
+
+The scoring service must keep serving while the maintenance plane retrains
+and merges models.  A single shared mutable :class:`~repro.core.clstm.CLSTM`
+makes that unsafe twice over: a hot swap can land between the forward pass
+and the threshold decision of one micro-batch, and the fused-weight caches
+of the old model can be rebuilt mid-request while its parameters are being
+overwritten.
+
+The registry removes both hazards with copy-on-write publishing:
+
+* :meth:`ModelRegistry.publish` snapshots the model (independent parameter
+  arrays via ``CLSTM.snapshot``), prewarms its fused-weight caches, wraps it
+  with a calibrated :class:`~repro.core.detector.AnomalyDetector`, and
+  assigns the next version number.  Published snapshots are immutable by
+  contract — nothing in the runtime writes to them.
+* a swap is an atomic pointer move (``self._latest = snapshot``): readers
+  that already pinned a snapshot keep scoring against it, readers that pin
+  afterwards see the new version.  There is no partially-updated state to
+  observe.
+* every shard of the serving runtime holds a :class:`RegistryHandle` and
+  pins the latest snapshot once per micro-batch, so a batch's forward pass,
+  score combination and threshold decision always come from one version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..core.clstm import CLSTM
+from ..core.detector import AnomalyDetector
+from ..utils.config import DetectionConfig
+
+__all__ = ["ModelSnapshot", "ModelRegistry", "RegistryHandle"]
+
+
+@dataclass(frozen=True, eq=False)
+class ModelSnapshot:
+    """One immutable published model version.
+
+    Attributes
+    ----------
+    version:
+        Monotonically increasing version number (1 for the first publish).
+    model:
+        Private CLSTM copy with prewarmed fused-weight caches.  Treated as
+        immutable after publish; :meth:`fused_fresh` checks the invariant.
+    threshold:
+        The calibrated anomaly threshold ``T_a`` this version serves with.
+    detector:
+        An :class:`AnomalyDetector` bound to ``model`` and ``threshold``;
+        this is what the serving shards score through.
+    reason:
+        Why the version exists (``"publish"`` for explicit publishes,
+        ``"incremental-update"`` for update-plane swaps).
+    metadata:
+        Free-form numeric annotations (drift similarity, trigger segment...).
+    """
+
+    version: int
+    model: CLSTM
+    threshold: float
+    detector: AnomalyDetector
+    reason: str = "publish"
+    metadata: Mapping[str, float] = field(default_factory=dict)
+
+    def fused_fresh(self) -> bool:
+        """Whether the snapshot's fused caches still match its parameters."""
+        return self.model.fused_fresh()
+
+
+class ModelRegistry:
+    """Append-only store of :class:`ModelSnapshot` versions.
+
+    Parameters
+    ----------
+    detection_config:
+        The :class:`DetectionConfig` every published snapshot's detector is
+        built with (``omega``, filtering thresholds...).  ``top_k`` must be
+        unset: ranking is batch-relative and incompatible with serving.
+    max_versions:
+        Optional keep-last-K bound on retained snapshots.  Each snapshot
+        holds full private copies of the model parameters, so a long-running
+        service whose update plane publishes on every drift trigger would
+        otherwise grow without bound.  Version numbers stay monotonic;
+        evicted versions are no longer reachable via :meth:`get` (a reader
+        that already pinned one keeps its reference alive).  ``None`` keeps
+        the full history.
+    """
+
+    def __init__(
+        self,
+        detection_config: Optional[DetectionConfig] = None,
+        max_versions: Optional[int] = None,
+    ) -> None:
+        config = detection_config if detection_config is not None else DetectionConfig()
+        if config.top_k is not None:
+            raise ValueError(
+                "ModelRegistry needs absolute thresholds; top_k ranking is "
+                "batch-relative and incompatible with micro-batched serving"
+            )
+        if max_versions is not None and max_versions < 1:
+            raise ValueError("max_versions must be positive when set")
+        self.detection_config = config
+        self.max_versions = max_versions
+        self._snapshots: Dict[int, ModelSnapshot] = {}
+        self._published = 0
+        self._latest: Optional[ModelSnapshot] = None
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        model: CLSTM,
+        threshold: float,
+        *,
+        reason: str = "publish",
+        metadata: Optional[Mapping[str, float]] = None,
+        copy: bool = True,
+    ) -> ModelSnapshot:
+        """Publish ``model`` as the next version (copy-on-write).
+
+        By default the model is snapshotted — the registry's copy owns its
+        parameter arrays and prewarmed fused caches, so the caller is free to
+        keep training or merging the original.  ``copy=False`` adopts the
+        instance directly (the caller then promises never to mutate it);
+        its caches are still prewarmed here.
+        """
+        threshold = float(threshold)
+        if not np.isfinite(threshold):
+            raise ValueError(f"threshold must be finite, got {threshold}")
+        if copy:
+            published = model.snapshot()
+        else:
+            published = model
+            published.prewarm_fused()
+        detector = AnomalyDetector(published, self.detection_config)
+        detector.anomaly_threshold = threshold
+        self._published += 1
+        snapshot = ModelSnapshot(
+            version=self._published,
+            model=published,
+            threshold=threshold,
+            detector=detector,
+            reason=reason,
+            metadata=dict(metadata) if metadata else {},
+        )
+        self._snapshots[snapshot.version] = snapshot
+        # The swap: one atomic pointer move.  Pinned readers are unaffected.
+        self._latest = snapshot
+        if self.max_versions is not None:
+            while len(self._snapshots) > self.max_versions:
+                self._snapshots.pop(min(self._snapshots))
+        return snapshot
+
+    @classmethod
+    def from_detector(
+        cls,
+        detector: AnomalyDetector,
+        *,
+        copy: bool = True,
+        max_versions: Optional[int] = None,
+    ) -> "ModelRegistry":
+        """Bootstrap a registry from a calibrated detector (version 1).
+
+        This is the compatibility path the scoring service uses when handed a
+        bare detector.  Version 1 is a full copy-on-write snapshot: mutating
+        the caller's detector afterwards (re-calibrating its threshold,
+        loading merged weights into its model) does **not** change what is
+        served — a half-shared snapshot that tracked weight writes but froze
+        the threshold would be worse than either extreme.  Callers that want
+        the service to follow their updates publish new versions explicitly
+        (or attach an :class:`~repro.serving.maintenance.UpdatePlane`).
+        ``copy=False`` restores the shared-model behaviour for callers that
+        promise not to mutate the model after bootstrap.
+        """
+        if detector.anomaly_threshold is None:
+            raise ValueError(
+                "registry bootstrap requires a calibrated detector (call "
+                "AnomalyDetector.calibrate or set DetectionConfig.threshold)"
+            )
+        registry = cls(detection_config=detector.config, max_versions=max_versions)
+        registry.publish(
+            detector.model, detector.anomaly_threshold, reason="initial", copy=copy
+        )
+        return registry
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def latest(self) -> ModelSnapshot:
+        """The currently published snapshot."""
+        if self._latest is None:
+            raise LookupError("registry is empty; publish a model first")
+        return self._latest
+
+    def get(self, version: int) -> ModelSnapshot:
+        """The snapshot of a specific version.
+
+        Old versions stay readable until evicted by ``max_versions``.
+        """
+        try:
+            return self._snapshots[version]
+        except KeyError:
+            raise KeyError(f"unknown (or evicted) model version {version}") from None
+
+    def versions(self) -> List[int]:
+        """All retained version numbers, ascending."""
+        return sorted(self._snapshots)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def handle(self) -> "RegistryHandle":
+        """A reader-side handle (one per serving shard)."""
+        return RegistryHandle(self)
+
+
+class RegistryHandle:
+    """A reader's view of the registry with per-batch snapshot pinning.
+
+    A shard calls :meth:`pin` exactly once per micro-batch, before the
+    forward pass, and uses the returned snapshot for everything the batch
+    needs (model, detector, threshold, version tag).  A publish that happens
+    while the batch is being scored — e.g. the update plane running inside a
+    drift-trigger callback — is only observed by the *next* ``pin``.
+    """
+
+    def __init__(self, registry: ModelRegistry) -> None:
+        self.registry = registry
+        self._pinned: Optional[ModelSnapshot] = None
+        self.swaps_observed = 0
+
+    def pin(self) -> ModelSnapshot:
+        """Pin and return the latest snapshot for the next unit of work."""
+        snapshot = self.registry.latest()
+        if self._pinned is not None and snapshot.version != self._pinned.version:
+            self.swaps_observed += 1
+        self._pinned = snapshot
+        return snapshot
+
+    @property
+    def pinned(self) -> Optional[ModelSnapshot]:
+        """The snapshot of the most recent :meth:`pin` (None before any)."""
+        return self._pinned
+
+    @property
+    def version(self) -> Optional[int]:
+        return self._pinned.version if self._pinned is not None else None

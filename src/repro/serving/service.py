@@ -11,11 +11,23 @@ to their streams.
 
 The same forward pass also feeds the dynamic-maintenance machinery of
 Section IV-D: final ``LSTM_I`` hidden states of presumed-normal segments are
-buffered, and whenever the buffer fills, the drift check (Eq. 17) runs
-against the historical hidden-state set.  The service does *not* retrain the
-model itself — retraining is expensive and belongs on a control plane — it
-emits :class:`UpdateTrigger` events that a caller can feed to
-:class:`~repro.core.update.IncrementalUpdater`.
+buffered (together with the segments themselves), and whenever the buffer
+fills, the drift check (Eq. 17) runs against the historical hidden-state
+set.  Reaction to drift is pluggable: the service always emits
+:class:`UpdateTrigger` events, and when an
+:class:`~repro.serving.maintenance.UpdatePlane` is attached it additionally
+hands the plane the drained presumed-normal sample buffer, closing the
+paper's Fig. 5 loop inside the runtime — the plane retrains, merges,
+re-calibrates ``T_a`` and publishes the new version back through the shared
+:class:`~repro.serving.registry.ModelRegistry`.
+
+Model access is registry-mediated: each service holds a
+:class:`~repro.serving.registry.RegistryHandle` and pins the latest
+published :class:`~repro.serving.registry.ModelSnapshot` once per
+micro-batch, so every batch scores (forward pass, REIA combination and
+threshold decision) against exactly one immutable model version even if a
+swap lands mid-batch.  A wall-clock flush deadline (``max_batch_delay_ms``)
+bounds how long a queued segment can wait for its batch to fill.
 """
 
 from __future__ import annotations
@@ -23,7 +35,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -32,20 +44,49 @@ from ..core.update import hidden_set_similarity
 from ..features.pipeline import StreamFeatures
 from ..utils.config import UpdateConfig
 from .microbatch import MicroBatcher, ScoreRequest
+from .registry import ModelRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .maintenance import UpdatePlane
 
 __all__ = [
     "StreamDetection",
     "UpdateTrigger",
     "ServiceStats",
     "StreamSession",
+    "ManualClock",
     "ScoringService",
     "replay_streams",
 ]
 
 
+class ManualClock:
+    """Deterministic clock for exercising wall-clock flush deadlines.
+
+    Production services default to ``time.monotonic``; tests, benchmarks and
+    replay drivers inject a ``ManualClock`` and advance simulated time
+    explicitly, which keeps deadline behaviour reproducible.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time can only advance forwards")
+        self.now += seconds
+
+
 @dataclass(frozen=True)
 class StreamDetection:
-    """One scored segment, routed back to its stream."""
+    """One scored segment, routed back to its stream.
+
+    ``model_version`` records which registry snapshot produced the decision,
+    so post-swap detections are attributable to the model that made them.
+    """
 
     stream_id: str
     segment_index: int
@@ -54,6 +95,7 @@ class StreamDetection:
     interaction_error: float
     is_anomaly: bool
     threshold: float
+    model_version: int = 1
 
 
 @dataclass(frozen=True)
@@ -63,13 +105,20 @@ class UpdateTrigger:
     Mirrors :class:`~repro.core.update.UpdateDecision`: ``similarity`` is the
     mean pairwise cosine between historical and buffered hidden states
     (Eq. 17), and the trigger fires when it drops to ``drift_threshold`` or
-    below.
+    below.  ``stream_ids`` lists the streams that contributed buffered
+    segments — deduplicated and sorted, so the tuple is deterministic
+    regardless of buffer insertion order.
     """
 
     segment_index: int
     similarity: float
     buffered_segments: int
-    stream_ids: tuple
+    stream_ids: tuple[str, ...]
+    model_version: int = 1
+    """Version pinned by the micro-batch whose segment completed the buffer.
+    When a swap lands while the buffer is filling, earlier buffered hidden
+    states may come from older versions — this field records where the
+    drift check *ran*, not a provenance guarantee for every buffered row."""
 
 
 @dataclass
@@ -141,8 +190,11 @@ class ScoringService:
     Parameters
     ----------
     detector:
-        A (typically calibrated) :class:`AnomalyDetector`; its CLSTM runs the
-        fused batched forward, its threshold logic labels the scores.
+        A calibrated :class:`AnomalyDetector`; compatibility entry point that
+        bootstraps a single-version :class:`ModelRegistry` around a frozen
+        snapshot of it — mutating the detector (weights or threshold) after
+        construction does not change what is served; publish a new version
+        instead.  Mutually exclusive with ``registry``.
     sequence_length:
         History length ``q`` of each stream's rolling window.
     max_batch_size:
@@ -164,43 +216,73 @@ class ScoringService:
         (Eq. 17 compares mean unit vectors, so a recency window changes the
         comparison set, not the statistic).  ``None`` is paper-faithful:
         the history grows without bound, like the offline updater's.
+    registry:
+        A :class:`ModelRegistry` with at least one published snapshot; the
+        service pins its latest version once per micro-batch.  Mutually
+        exclusive with ``detector``.
+    update_plane:
+        Optional :class:`~repro.serving.maintenance.UpdatePlane` wired to the
+        *same* registry; every drift trigger is handed to it together with
+        the drained presumed-normal sample buffer (requires
+        ``update_config``).
+    max_batch_delay_ms:
+        Wall-clock flush deadline: once the oldest queued request has waited
+        this long, the partial batch is scored (on :meth:`submit` or
+        :meth:`poll`).  ``None`` keeps the count-based flush only.
+    clock:
+        Monotonic time source for the deadline (defaults to
+        ``time.monotonic``); tests inject a :class:`ManualClock`.
     """
 
     def __init__(
         self,
-        detector: AnomalyDetector,
+        detector: Optional[AnomalyDetector] = None,
         sequence_length: int = 9,
         max_batch_size: int = 64,
         update_config: Optional[UpdateConfig] = None,
         historical_hidden: Optional[np.ndarray] = None,
         on_update_trigger: Optional[Callable[[UpdateTrigger], None]] = None,
         max_history: Optional[int] = None,
+        *,
+        registry: Optional[ModelRegistry] = None,
+        update_plane: Optional["UpdatePlane"] = None,
+        max_batch_delay_ms: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if sequence_length < 1:
             raise ValueError("sequence_length must be positive")
         if max_history is not None and max_history < 1:
             raise ValueError("max_history must be positive when set")
-        # Micro-batch composition must never influence a segment's label, so
-        # batch-relative decision rules are rejected up front: top-k ranks
-        # *within a batch*, and an uncalibrated detector would re-derive a
-        # median+MAD threshold per micro-batch — both would make detections
-        # depend on which unrelated streams happened to share the batch.
-        if detector.config.top_k is not None:
-            raise ValueError(
-                "ScoringService needs an absolute threshold; top_k ranking is "
-                "batch-relative and incompatible with micro-batched serving"
-            )
-        if detector.anomaly_threshold is None:
-            raise ValueError(
-                "ScoringService requires a calibrated detector (call "
-                "AnomalyDetector.calibrate or set DetectionConfig.threshold)"
-            )
-        self.detector = detector
+        if (detector is None) == (registry is None):
+            raise ValueError("pass exactly one of detector= or registry=")
+        if registry is None:
+            # ModelRegistry owns the serving-compatibility rules (absolute
+            # thresholds only, calibrated detector) — batch-relative decision
+            # rules would make a segment's label depend on which unrelated
+            # streams happened to share its micro-batch.
+            registry = ModelRegistry.from_detector(detector)
+        elif len(registry) == 0:
+            raise ValueError("registry must hold at least one published snapshot")
+        self.registry = registry
+        self._handle = registry.handle()
+        self.update_config = update_config
+        self._update_plane: Optional["UpdatePlane"] = None
+        # Full sample payloads are only retained when something consumes them
+        # — with no update plane, holding buffer_size feature windows would
+        # pin megabytes per drift check for nothing.
+        self._buffer_requests: Optional[List[ScoreRequest]] = None
+        self.update_plane = update_plane  # validating property
         self.sequence_length = sequence_length
-        self.batcher = MicroBatcher(max_batch_size=max_batch_size)
+        self.max_batch_delay_ms = max_batch_delay_ms
+        self._clock: Callable[[], float] = clock if clock is not None else time.monotonic
+        self.batcher = MicroBatcher(
+            max_batch_size=max_batch_size,
+            max_delay_seconds=(
+                max_batch_delay_ms / 1000.0 if max_batch_delay_ms is not None else None
+            ),
+        )
         self.sessions: Dict[str, StreamSession] = {}
         self.stats = ServiceStats()
-        self.update_config = update_config
         self.on_update_trigger = on_update_trigger
         self.update_triggers: List[UpdateTrigger] = []
         self._historical_hidden = (
@@ -210,10 +292,48 @@ class ScoringService:
         )
         self.max_history = max_history
         self._buffer_hidden: List[np.ndarray] = []
-        self._buffer_streams: List[str] = []
+        self._buffer_stream_ids: List[str] = []
         # Running mean of observed interaction levels (O(1) per segment).
         self._level_sum = 0.0
         self._level_count = 0
+
+    @property
+    def update_plane(self) -> Optional["UpdatePlane"]:
+        """The attached maintenance plane (settable; validated on set)."""
+        return self._update_plane
+
+    @update_plane.setter
+    def update_plane(self, plane: Optional["UpdatePlane"]) -> None:
+        if plane is not None:
+            if plane.registry is not self.registry:
+                raise ValueError(
+                    "update_plane must publish into the same registry this service reads"
+                )
+            if self.update_config is None:
+                raise ValueError("update_plane requires update_config (drift monitoring)")
+            if self._buffer_requests is None:
+                # Start collecting sample payloads from here on; segments
+                # buffered before the plane was attached have hidden states
+                # but no retainable windows.
+                self._buffer_requests = []
+        else:
+            self._buffer_requests = None
+        self._update_plane = plane
+
+    @property
+    def detector(self) -> AnomalyDetector:
+        """The currently published snapshot's detector (read-only view)."""
+        return self.registry.latest().detector
+
+    @property
+    def model_version(self) -> int:
+        """Version number of the currently published snapshot."""
+        return self.registry.latest().version
+
+    @property
+    def model_swaps_observed(self) -> int:
+        """How many version changes this service's batches have crossed."""
+        return self._handle.swaps_observed
 
     # ------------------------------------------------------------------ #
     # Stream management
@@ -250,10 +370,24 @@ class ScoringService:
         request = self.session(stream_id).make_request(
             action_feature, interaction_feature, float(interaction_level)
         )
+        now = self._clock() if self.max_batch_delay_ms is not None else None
         if request is not None:
-            self.batcher.submit(request)
+            self.batcher.submit(request, now=now)
         produced: List[StreamDetection] = []
         while self.batcher.ready():
+            produced.extend(self._score_requests(self.batcher.drain()))
+        if now is not None and self.batcher.expired(now):
+            produced.extend(self._score_requests(self.batcher.drain()))
+        return produced
+
+    def poll(self) -> List[StreamDetection]:
+        """Flush batches whose wall-clock deadline has passed (and full ones).
+
+        Drivers with a real event loop would run this on a timer; the
+        synchronous replay drivers call it whenever simulated time advances.
+        """
+        produced: List[StreamDetection] = []
+        while self.batcher.ready() or self.batcher.expired(self._clock()):
             produced.extend(self._score_requests(self.batcher.drain()))
         return produced
 
@@ -271,6 +405,11 @@ class ScoringService:
         if not requests:
             return []
         started = time.perf_counter()
+        # Pin exactly one model version for the whole batch: forward pass,
+        # REIA combination and threshold decision all come from `snapshot`.
+        # A publish landing while this batch runs (the update plane executes
+        # inside the drift-trigger path below) is only seen by the next pin.
+        snapshot = self._handle.pin()
         (
             action_sequences,
             interaction_sequences,
@@ -278,10 +417,10 @@ class ScoringService:
             interaction_targets,
             segment_indices,
         ) = MicroBatcher.assemble(requests)
-        predicted_action, predicted_interaction, hidden, _ = self.detector.model.predict_full(
+        predicted_action, predicted_interaction, hidden, _ = snapshot.model.predict_full(
             action_sequences, interaction_sequences
         )
-        result = self.detector.score_predictions(
+        result = snapshot.detector.score_predictions(
             segment_indices,
             action_targets,
             interaction_targets,
@@ -302,16 +441,19 @@ class ScoringService:
                 interaction_error=float(result.interaction_errors[position]),
                 is_anomaly=bool(result.is_anomaly[position]),
                 threshold=float(result.threshold),
+                model_version=snapshot.version,
             )
             detections.append(detection)
             self.session(request.stream_id).detections.append(detection)
-        self._observe_hidden(requests, hidden)
+        self._observe_hidden(requests, hidden, snapshot.version)
         return detections
 
     # ------------------------------------------------------------------ #
     # Drift monitoring (incremental-update triggers)
     # ------------------------------------------------------------------ #
-    def _observe_hidden(self, requests: List[ScoreRequest], hidden: np.ndarray) -> None:
+    def _observe_hidden(
+        self, requests: List[ScoreRequest], hidden: np.ndarray, model_version: int
+    ) -> None:
         if self.update_config is None:
             return
         threshold = self._interaction_threshold()
@@ -323,9 +465,11 @@ class ScoringService:
             self._level_count += 1
             if level < threshold:
                 self._buffer_hidden.append(hidden[position])
-                self._buffer_streams.append(request.stream_id)
+                self._buffer_stream_ids.append(request.stream_id)
+                if self._buffer_requests is not None:
+                    self._buffer_requests.append(request)
             if len(self._buffer_hidden) >= self.update_config.buffer_size:
-                self._drift_check(request.segment_index)
+                self._drift_check(request.segment_index, model_version)
 
     def _interaction_threshold(self) -> float:
         if self.update_config.interaction_threshold is not None:
@@ -334,7 +478,7 @@ class ScoringService:
             return float("inf")  # before any observation, everything buffers
         return self._level_sum / self._level_count
 
-    def _drift_check(self, segment_index: int) -> None:
+    def _drift_check(self, segment_index: int, model_version: int) -> None:
         incoming = np.stack(self._buffer_hidden, axis=0)
         if self._historical_hidden is None:
             # First full buffer seeds the history; no drift can be measured yet.
@@ -347,9 +491,21 @@ class ScoringService:
                 segment_index=segment_index,
                 similarity=float(similarity),
                 buffered_segments=len(self._buffer_hidden),
-                stream_ids=tuple(sorted(set(self._buffer_streams))),
+                stream_ids=tuple(sorted(set(self._buffer_stream_ids))),
+                model_version=model_version,
             )
             self.update_triggers.append(trigger)
+            if self.update_plane is not None and len(self._buffer_requests) == len(
+                self._buffer_hidden
+            ):
+                # Close the Fig. 5 loop in-runtime: train on the drained
+                # presumed-normal buffer, merge, re-calibrate, publish.  The
+                # swap becomes visible at the next batch's snapshot pin.
+                # (A plane attached mid-buffer retained only part of this
+                # buffer's samples — skip the update rather than train and
+                # re-calibrate on a fragment; the next full buffer is
+                # complete, since the buffer clears below.)
+                self.update_plane.handle_trigger(trigger, tuple(self._buffer_requests))
             if self.on_update_trigger is not None:
                 self.on_update_trigger(trigger)
         # History absorbs the buffer either way (line 14 of Fig. 5).
@@ -360,13 +516,18 @@ class ScoringService:
 
     def _clear_buffer(self) -> None:
         self._buffer_hidden.clear()
-        self._buffer_streams.clear()
+        self._buffer_stream_ids.clear()
+        if self._buffer_requests is not None:
+            self._buffer_requests.clear()
 
 
 def replay_streams(
-    service: ScoringService,
+    service: "ScoringService",
     streams: Mapping[str, StreamFeatures],
     flush: bool = True,
+    *,
+    clock: Optional[ManualClock] = None,
+    interarrival_seconds: float = 0.0,
 ) -> List[StreamDetection]:
     """Drive ``service`` with many streams arriving concurrently.
 
@@ -374,7 +535,23 @@ def replay_streams(
     stream, then segment 1 of every stream, ...), which is how aligned live
     streams reach a real ingest tier.  Returns every detection produced, in
     scoring order.
+
+    ``service`` may be a :class:`ScoringService` or anything sharing its
+    ingest surface (e.g. the sharded runtime).  When a :class:`ManualClock`
+    is supplied, simulated time advances by ``interarrival_seconds`` after
+    each round-robin round and the service's deadline flushes run via
+    ``poll()`` — this is how the deadline-bounded benchmarks replay at a
+    controlled arrival rate.  The service must have been constructed with
+    the *same* clock; otherwise its deadlines would silently keep running
+    on real wall-clock time while the replay advances simulated time.
     """
+    if clock is not None:
+        shards = getattr(service, "shards", None) or [service]
+        if any(getattr(shard, "_clock", None) is not clock for shard in shards):
+            raise ValueError(
+                "replay clock must be the clock the service was constructed with "
+                "(pass clock=... to the service as well)"
+            )
     detections: List[StreamDetection] = []
     longest = max((features.num_segments for features in streams.values()), default=0)
     for position in range(longest):
@@ -394,6 +571,9 @@ def replay_streams(
                     interaction_level=level,
                 )
             )
+        if clock is not None:
+            clock.advance(interarrival_seconds)
+            detections.extend(service.poll())
     if flush:
         detections.extend(service.flush())
     return detections

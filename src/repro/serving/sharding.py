@@ -1,0 +1,251 @@
+"""Sharded serving runtime: many streams, many models, one ingest surface.
+
+A production deployment watches streams from several platforms at once, each
+platform with its own CLSTM (the paper trains one model per dataset).  The
+:class:`ShardedScoringService` routes streams across ``N`` scoring shards;
+each shard is a full :class:`~repro.serving.service.ScoringService` — one
+:class:`~repro.serving.registry.RegistryHandle`, one
+:class:`~repro.serving.microbatch.MicroBatcher`, its own drift monitor and
+(optionally) its own :class:`~repro.serving.maintenance.UpdatePlane` — so
+shards swap, batch and maintain their models independently.
+
+Two deployment shapes are supported:
+
+* **one shared registry** across ``num_shards`` shards (horizontal scaling
+  of a single model; every shard serves the same latest version);
+* **one registry per shard** (the multi-model deployment; the router must
+  send each stream to the shard owning its model).
+
+Routing is deterministic: the default router hashes the stream id with
+CRC-32, and every stream's first route is pinned so detections keep landing
+on the same shard even if a custom router misbehaves.  Cross-stream
+micro-batching happens *within* a shard, which is the point: streams of the
+same model coalesce into full batches, while the wall-clock flush deadline
+(`ServingConfig.max_batch_delay_ms`) bounds how stale a queued segment can
+get when a shard's fan-in is low.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..utils.config import ServingConfig, TrainingConfig, UpdateConfig
+from .maintenance import UpdatePlane, UpdateReport
+from .registry import ModelRegistry
+from .service import ScoringService, ServiceStats, StreamDetection, UpdateTrigger
+
+__all__ = ["default_router", "ShardedScoringService"]
+
+
+def default_router(stream_id: str, num_shards: int) -> int:
+    """Stable stream → shard assignment (CRC-32 of the stream id)."""
+    return zlib.crc32(stream_id.encode("utf-8")) % num_shards
+
+
+class ShardedScoringService:
+    """Route streams across N independent scoring shards.
+
+    Parameters
+    ----------
+    registries:
+        Either a single :class:`ModelRegistry` (shared by ``config.num_shards``
+        shards) or one registry per shard (``num_shards`` is then the length
+        of the sequence).
+    config:
+        Batching/sharding parameters (:class:`ServingConfig`).
+    sequence_length:
+        History length ``q`` of each stream's rolling window.
+    update_config:
+        Enables per-shard drift monitoring when provided.
+    attach_update_planes:
+        When true, every *registry* gets an :class:`UpdatePlane` (shards
+        sharing a registry share the plane) — the fully closed
+        online-learning loop.  Requires ``update_config``.  Note that drift
+        monitoring stays per-shard: with a shared registry, shards observing
+        the same drift in their own stream populations will each request an
+        update from their own buffer; the shared plane serialises those into
+        a coherent version lineage rather than racing.
+    training_config:
+        Base training configuration for the update planes.
+    historical_hidden:
+        Optional seed for every shard's historical hidden-state set ``S_h``
+        (only meaningful with a shared registry, where all shards serve the
+        same model).
+    on_update_trigger:
+        Callback invoked with every shard's :class:`UpdateTrigger`.
+    max_history:
+        Per-shard cap on the historical hidden-state set.
+    router:
+        Optional ``stream_id -> shard_index`` override; results are pinned
+        per stream on first use.
+    clock:
+        Shared time source for the wall-clock flush deadlines.
+    """
+
+    def __init__(
+        self,
+        registries: Union[ModelRegistry, Sequence[ModelRegistry]],
+        config: Optional[ServingConfig] = None,
+        sequence_length: int = 9,
+        update_config: Optional[UpdateConfig] = None,
+        attach_update_planes: bool = False,
+        training_config: Optional[TrainingConfig] = None,
+        historical_hidden: Optional[np.ndarray] = None,
+        on_update_trigger: Optional[Callable[[UpdateTrigger], None]] = None,
+        max_history: Optional[int] = None,
+        router: Optional[Callable[[str], int]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        config = config if config is not None else ServingConfig()
+        if isinstance(registries, ModelRegistry):
+            shard_registries: List[ModelRegistry] = [registries] * config.num_shards
+        else:
+            shard_registries = list(registries)
+            if not shard_registries:
+                raise ValueError("registries must not be empty")
+        if attach_update_planes and update_config is None:
+            raise ValueError("attach_update_planes requires update_config")
+        self.config = config
+        self.shards: List[ScoringService] = []
+        # One plane per *distinct* registry: shards sharing a registry share
+        # the plane, so every update trains and merges against the latest
+        # published version instead of N planes racing each other.  (Each
+        # shard still has its own drift monitor over its own streams, so two
+        # shards of one model can both legitimately request updates — from
+        # disjoint sample buffers.)
+        planes: Dict[int, UpdatePlane] = {}
+        for registry in shard_registries:
+            plane = None
+            if attach_update_planes:
+                plane = planes.get(id(registry))
+                if plane is None:
+                    plane = UpdatePlane(
+                        registry, update_config=update_config, training_config=training_config
+                    )
+                    planes[id(registry)] = plane
+            self.shards.append(
+                ScoringService(
+                    sequence_length=sequence_length,
+                    max_batch_size=config.max_batch_size,
+                    update_config=update_config,
+                    historical_hidden=historical_hidden,
+                    on_update_trigger=on_update_trigger,
+                    max_history=max_history,
+                    registry=registry,
+                    update_plane=plane,
+                    max_batch_delay_ms=config.max_batch_delay_ms,
+                    clock=clock,
+                )
+            )
+        self._router = router if router is not None else (
+            lambda stream_id: default_router(stream_id, len(self.shards))
+        )
+        self._routes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_index(self, stream_id: str) -> int:
+        """The (pinned) shard index owning ``stream_id``."""
+        index = self._routes.get(stream_id)
+        if index is None:
+            index = int(self._router(stream_id))
+            if not 0 <= index < len(self.shards):
+                raise ValueError(
+                    f"router assigned stream '{stream_id}' to shard {index}; "
+                    f"valid range is [0, {len(self.shards)})"
+                )
+            self._routes[stream_id] = index
+        return index
+
+    def shard_of(self, stream_id: str) -> ScoringService:
+        """The shard service owning ``stream_id``."""
+        return self.shards[self.shard_index(stream_id)]
+
+    # ------------------------------------------------------------------ #
+    # Ingest (same surface as ScoringService, so replay drivers compose)
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        stream_id: str,
+        action_feature: np.ndarray,
+        interaction_feature: np.ndarray,
+        interaction_level: float = float("nan"),
+    ) -> List[StreamDetection]:
+        """Feed one segment of one stream to its shard."""
+        return self.shard_of(stream_id).submit(
+            stream_id, action_feature, interaction_feature, interaction_level
+        )
+
+    def poll(self) -> List[StreamDetection]:
+        """Run deadline flushes on every shard."""
+        produced: List[StreamDetection] = []
+        for shard in self.shards:
+            produced.extend(shard.poll())
+        return produced
+
+    def flush(self) -> List[StreamDetection]:
+        """Drain every shard regardless of batch occupancy."""
+        produced: List[StreamDetection] = []
+        for shard in self.shards:
+            produced.extend(shard.flush())
+        return produced
+
+    def detections(self, stream_id: str) -> List[StreamDetection]:
+        """All detections routed to ``stream_id`` so far."""
+        return self.shard_of(stream_id).detections(stream_id)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate views
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> ServiceStats:
+        """Aggregate serving counters across all shards."""
+        total = ServiceStats()
+        for shard in self.shards:
+            total.segments_scored += shard.stats.segments_scored
+            total.batches += shard.stats.batches
+            total.scoring_seconds += shard.stats.scoring_seconds
+        return total
+
+    def shard_stats(self) -> List[ServiceStats]:
+        return [shard.stats for shard in self.shards]
+
+    def reset_stats(self) -> None:
+        for shard in self.shards:
+            shard.reset_stats()
+
+    @property
+    def update_triggers(self) -> List[UpdateTrigger]:
+        """Every shard's drift triggers (shard-major order)."""
+        triggers: List[UpdateTrigger] = []
+        for shard in self.shards:
+            triggers.extend(shard.update_triggers)
+        return triggers
+
+    @property
+    def update_reports(self) -> List[UpdateReport]:
+        """Every completed in-service update, one entry per update.
+
+        Shards sharing a registry share an update plane, so planes are
+        deduplicated before their reports are collected.
+        """
+        reports: List[UpdateReport] = []
+        seen: List[UpdatePlane] = []
+        for shard in self.shards:
+            plane = shard.update_plane
+            if plane is not None and not any(plane is known for known in seen):
+                seen.append(plane)
+                reports.extend(plane.reports)
+        return reports
+
+    def model_versions(self) -> Mapping[int, int]:
+        """shard index -> currently published model version."""
+        return {index: shard.model_version for index, shard in enumerate(self.shards)}

@@ -5,6 +5,7 @@ from .config import (
     ModelConfig,
     TrainingConfig,
     DetectionConfig,
+    ServingConfig,
     UpdateConfig,
 )
 from .rng import make_rng, spawn_rngs, derive_rng
@@ -16,6 +17,7 @@ __all__ = [
     "ModelConfig",
     "TrainingConfig",
     "DetectionConfig",
+    "ServingConfig",
     "UpdateConfig",
     "make_rng",
     "spawn_rngs",

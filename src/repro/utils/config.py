@@ -174,6 +174,36 @@ class DetectionConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Online serving-runtime parameters (sharded micro-batching scorer)."""
+
+    max_batch_size: int = 64
+    """Micro-batch capacity of each shard's scheduler."""
+
+    max_batch_delay_ms: float | None = None
+    """Wall-clock flush deadline: a partial batch is scored once its oldest
+    queued request has waited this long.  ``None`` keeps the count-based
+    flush only (the caller controls latency by flushing explicitly)."""
+
+    num_shards: int = 1
+    """Number of scoring shards a shared model registry is served across.
+    Ignored when one registry per shard is passed explicitly."""
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be positive, got {self.max_batch_size}")
+        if self.max_batch_delay_ms is not None and self.max_batch_delay_ms < 0:
+            raise ValueError(
+                f"max_batch_delay_ms must be non-negative, got {self.max_batch_delay_ms}"
+            )
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {self.num_shards}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
 class UpdateConfig:
     """Dynamic model-update parameters (Section IV-D)."""
 
@@ -197,4 +227,4 @@ class UpdateConfig:
         return asdict(self)
 
 
-__all__.append("UpdateConfig")
+__all__ += ["ServingConfig", "UpdateConfig"]

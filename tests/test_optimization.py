@@ -13,6 +13,7 @@ from repro.optimization import (
     ADOSFilter,
     FilteredDetector,
     adg_upper_bound,
+    adg_upper_bounds,
     assign_subspaces,
     build_adg,
     evaluate_bounds,
@@ -22,6 +23,7 @@ from repro.optimization import (
     js_upper_bound_l1,
     minimal_feature_contribution,
     paper_group_bound,
+    paper_group_bounds,
     subspace_boundaries,
 )
 from repro.utils.config import DetectionConfig
@@ -148,6 +150,69 @@ class TestBounds:
         bundle = evaluate_bounds(p, q, include_exact=True)
         assert bundle.js_max >= bundle.exact >= bundle.js_min - 1e-12
         assert bundle.adg_bound >= bundle.exact - 1e-9
+
+
+class TestBatchedGroupBounds:
+    """The (B, D) batched bounds must agree elementwise with the scalar ones."""
+
+    def batch(self, rng, count=12, dim=40, noise=0.05):
+        features = rng.dirichlet(np.full(dim, 0.35), size=count)
+        perturbed = np.abs(features + rng.normal(0.0, noise, size=(count, dim))) + 1e-12
+        return features, perturbed / perturbed.sum(axis=1, keepdims=True)
+
+    @pytest.mark.parametrize("n_subspaces", [2, 5, 20])
+    @pytest.mark.parametrize("exact_groups", [0, 3, 50])
+    def test_adg_upper_bounds_match_scalar_elementwise(self, rng, n_subspaces, exact_groups):
+        features, reconstructions = self.batch(rng)
+        batched = adg_upper_bounds(
+            features, reconstructions, n_subspaces=n_subspaces, exact_groups=exact_groups
+        )
+        scalar = np.array(
+            [
+                adg_upper_bound(
+                    features[row],
+                    reconstructions[row],
+                    n_subspaces=n_subspaces,
+                    exact_groups=exact_groups,
+                )
+                for row in range(len(features))
+            ]
+        )
+        # Bitwise equality: the batched path shares the scalar expressions
+        # and accumulation order, so ADOS decisions cannot flip at thresholds.
+        np.testing.assert_array_equal(batched, scalar)
+
+    @pytest.mark.parametrize("n_subspaces", [3, 20])
+    def test_paper_group_bounds_match_scalar_elementwise(self, rng, n_subspaces):
+        features, reconstructions = self.batch(rng, noise=0.2)
+        batched = paper_group_bounds(features, reconstructions, n_subspaces=n_subspaces)
+        scalar = np.array(
+            [
+                paper_group_bound(features[row], reconstructions[row], n_subspaces=n_subspaces)
+                for row in range(len(features))
+            ]
+        )
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_batched_bound_is_still_an_upper_bound(self, rng):
+        features, reconstructions = self.batch(rng, count=20)
+        exact = js_divergence(reconstructions, features)
+        bounds = adg_upper_bounds(features, reconstructions, n_subspaces=20, exact_groups=5)
+        assert np.all(bounds >= exact - 1e-9)
+
+    def test_single_row_batch(self, rng):
+        features, reconstructions = self.batch(rng, count=1)
+        batched = adg_upper_bounds(features, reconstructions)
+        assert batched.shape == (1,)
+        assert batched[0] == adg_upper_bound(features[0], reconstructions[0])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            adg_upper_bounds(np.ones(4) / 4, np.ones(4) / 4)  # 1-D input
+        with pytest.raises(ValueError):
+            adg_upper_bounds(np.ones((2, 4)) / 4, np.ones((2, 5)) / 5)
+        with pytest.raises(ValueError):
+            paper_group_bounds(np.ones((2, 0)), np.ones((2, 0)))
 
 
 def make_calibrated_detector(rng, count=60, q=4, d1=30, d2=6):

@@ -82,7 +82,32 @@ class TestMicroBatcher:
         with pytest.raises(ValueError):
             MicroBatcher(max_batch_size=0)
         with pytest.raises(ValueError):
+            MicroBatcher(max_delay_seconds=-1.0)
+        with pytest.raises(ValueError):
             MicroBatcher.assemble([])
+
+    def test_deadline_expiry_tracks_the_oldest_request(self):
+        batcher = MicroBatcher(max_batch_size=4, max_delay_seconds=0.1)
+        assert not batcher.expired(100.0)  # empty queue never expires
+        batcher.submit(make_request(index=0), now=1.0)
+        batcher.submit(make_request(index=1), now=1.05)
+        assert batcher.oldest_arrival() == 1.0
+        assert not batcher.expired(1.09)
+        assert batcher.expired(1.10)
+        batcher.drain()
+        assert batcher.oldest_arrival() is None
+        # After a drain the deadline restarts from the new queue head.
+        batcher.submit(make_request(index=2), now=2.0)
+        assert batcher.oldest_arrival() == 2.0
+        assert not batcher.expired(2.05)
+
+    def test_unstamped_requests_never_expire(self):
+        batcher = MicroBatcher(max_batch_size=4, max_delay_seconds=0.0)
+        batcher.submit(make_request())
+        assert not batcher.expired(100.0)
+        no_deadline = MicroBatcher(max_batch_size=4)
+        no_deadline.submit(make_request(), now=0.0)
+        assert not no_deadline.expired(100.0)
 
 
 class TestStreamSession:
@@ -170,6 +195,30 @@ class TestScoringService:
         assert trigger.buffered_segments == 10
         assert trigger.stream_ids == ("drifty",)
         assert received == service.update_triggers
+
+    def test_trigger_stream_ids_typed_deduplicated_and_sorted(self, calibrated_detector):
+        # Two streams replayed in reverse-alphabetical dict order, so buffer
+        # insertion order is (zeta, alpha, zeta, alpha, ...); the emitted
+        # tuple must still be deduplicated and sorted.
+        streams = {
+            "zeta": make_features("zeta", 30, seed=11),
+            "alpha": make_features("alpha", 30, seed=12),
+        }
+        service = ScoringService(
+            calibrated_detector,
+            sequence_length=Q,
+            max_batch_size=8,
+            update_config=UpdateConfig(
+                # drift_threshold=1.0: every post-seed buffer triggers.
+                buffer_size=6, drift_threshold=1.0, interaction_threshold=10.0
+            ),
+        )
+        replay_streams(service, streams)
+        assert service.update_triggers
+        for trigger in service.update_triggers:
+            assert all(isinstance(stream_id, str) for stream_id in trigger.stream_ids)
+            assert trigger.stream_ids == tuple(sorted(set(trigger.stream_ids)))
+        assert any(t.stream_ids == ("alpha", "zeta") for t in service.update_triggers)
 
     def test_first_buffer_seeds_history_without_trigger(self, calibrated_detector):
         features = make_features("fresh", 30, seed=3)
