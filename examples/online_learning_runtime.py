@@ -1,24 +1,26 @@
-"""Close the online-learning loop: drift → in-service update → hot swap.
+"""Close the online-learning loop — and survive a crash — with one facade.
 
 The paper's Section IV-D keeps the CLSTM fresh while a stream runs: segments
 with low audience interaction are presumed normal and buffered, drift of
 their hidden states triggers a retrain on the buffer, and the new model is
-merged with the old one.  This example runs that loop entirely *inside* the
-serving runtime:
+merged with the old one.  With the unified :class:`~repro.runtime.Runtime`
+the whole loop is declarative:
 
-1. train a CLSTM on an INF-style stream and publish it (version 1) into a
-   versioned :class:`~repro.serving.ModelRegistry`;
-2. attach an :class:`~repro.serving.UpdatePlane` to a sharded scoring
-   service: every drift trigger retrains on the drained presumed-normal
-   buffer, merges with the published model, re-calibrates the anomaly
-   threshold ``T_a`` and publishes the result — an atomic version swap;
-3. replay live streams whose style *drifts* halfway through (the action
-   distribution is rotated), under a wall-clock flush deadline driven by a
-   simulated clock;
-4. show the loop closing: drift triggers, registry versions, re-calibrated
-   thresholds, and which model version scored each detection — including
-   the pinned (pre-swap) version of the very batch that triggered the
-   update.
+1. describe the deployment as one :class:`~repro.runtime.RuntimeConfig`
+   (model dims, training budget, sharded serving with a wall-clock flush
+   deadline, drift-update parameters);
+2. ``Runtime.from_config(cfg, clock=...).fit(train)`` trains, calibrates
+   ``T_a`` and publishes version 1 into the versioned model registry;
+3. replay live streams whose style *drifts* halfway through — every drift
+   trigger retrains on the drained presumed-normal buffer, merges,
+   re-calibrates and publishes: an atomic version swap under live traffic;
+4. ``checkpoint()`` persists the full runtime (every retained version's
+   weights, thresholds, session windows, drift monitor), and
+   ``Runtime.from_checkpoint()`` resumes it — the crash-recovery path, with
+   bitwise-identical detections on the replayed tail.
+
+For wiring the registry / update plane / sharded service by hand (custom
+routers, one registry per shard), see ``examples/multi_stream_serving.py``.
 
 Run with::
 
@@ -27,21 +29,24 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import replace
+from pathlib import Path
 
 import numpy as np
 
 from repro import (
-    AOVLIS,
     FeaturePipeline,
-    ModelRegistry,
+    ModelConfig,
+    Runtime,
+    RuntimeConfig,
     ServingConfig,
-    ShardedScoringService,
+    TrainingConfig,
+    UpdateConfig,
     load_dataset,
 )
-from repro.serving import ManualClock, replay_streams
+from repro.serving import ManualClock
 from repro.streams.generator import SocialStreamGenerator
-from repro.utils.config import TrainingConfig, UpdateConfig
 
 
 def inject_drift(features, start_fraction: float = 0.5):
@@ -59,46 +64,39 @@ def inject_drift(features, start_fraction: float = 0.5):
 
 def main() -> None:
     # ------------------------------------------------------------------ #
-    # 1. Train, calibrate, publish version 1.
+    # 1. One declarative config for the whole closed-loop deployment.
     # ------------------------------------------------------------------ #
     spec = load_dataset("INF", base_train_seconds=300, base_test_seconds=120, seed=7)
     pipeline = FeaturePipeline(action_dim=100, motion_channels=spec.profile.motion_channels, seed=7)
     train = pipeline.extract(spec.train)
 
-    training = TrainingConfig(epochs=10, batch_size=32, checkpoint_every=5, seed=7)
-    model = AOVLIS(
-        sequence_length=9, action_hidden=48, interaction_hidden=24, training=training
-    )
-    model.fit(train)
-    registry = ModelRegistry.from_detector(model.detector)
-    print(
-        f"Published version 1: T_a = {registry.latest().threshold:.4f}, "
-        f"fused caches prewarmed = {registry.latest().fused_fresh()}\n"
-    )
-
-    # ------------------------------------------------------------------ #
-    # 2. Sharded service with an attached update plane per shard.
-    # ------------------------------------------------------------------ #
-    train_batch = train.sequences(model.sequence_length)
     # Note on drift_threshold: the simulated INF streams are far more
     # stationary than real footage — the mean-pairwise-cosine statistic
     # (Eq. 17) stays ~0.999 even under the rotation below, so the paper's
     # tau_u = 0.4 would never fire here.  A demonstration threshold just
     # under 1.0 lets the full loop run: trigger -> retrain on the buffer ->
     # merge -> re-calibrate -> atomic version swap.
-    update_config = UpdateConfig(buffer_size=120, drift_threshold=0.9995, update_epochs=8)
-    clock = ManualClock()
-    service = ShardedScoringService(
-        registry,
-        config=ServingConfig(num_shards=2, max_batch_size=32, max_batch_delay_ms=80.0),
-        sequence_length=model.sequence_length,
-        update_config=update_config,
-        attach_update_planes=True,
-        training_config=training,
-        historical_hidden=model.model.hidden_states(
-            train_batch.action_sequences, train_batch.interaction_sequences
+    config = RuntimeConfig(
+        model=ModelConfig(
+            action_dim=train.action_dim,
+            interaction_dim=train.interaction_dim,
+            action_hidden=48,
+            interaction_hidden=24,
         ),
-        clock=clock,
+        training=TrainingConfig(epochs=10, batch_size=32, checkpoint_every=5, seed=7),
+        serving=ServingConfig(num_shards=2, max_batch_size=32, max_batch_delay_ms=80.0),
+        update=UpdateConfig(buffer_size=120, drift_threshold=0.9995, update_epochs=8),
+        sequence_length=9,
+    )
+
+    # ------------------------------------------------------------------ #
+    # 2. Train, calibrate, publish version 1, stand the service up.
+    # ------------------------------------------------------------------ #
+    clock = ManualClock()
+    runtime = Runtime.from_config(config, clock=clock).fit(train)
+    print(
+        f"Published version 1: T_a = {runtime.anomaly_threshold:.4f}, "
+        f"fused caches prewarmed = {runtime.registry.latest().fused_fresh()}\n"
     )
 
     # ------------------------------------------------------------------ #
@@ -111,42 +109,56 @@ def main() -> None:
     }
     total = sum(f.num_segments for f in streams.values())
     print(f"Replaying {len(streams)} drifting streams, {total} segments total")
-    replay_streams(service, streams, clock=clock, interarrival_seconds=0.05)
+    runtime.replay(streams, interarrival_seconds=0.05)
 
     # ------------------------------------------------------------------ #
     # 4. The closed loop, observably.
     # ------------------------------------------------------------------ #
+    stats = runtime.stats
     print(
-        f"\nServed {service.stats.segments_scored} segments in "
-        f"{service.stats.batches} micro-batches "
-        f"(mean batch {service.stats.mean_batch_size:.1f}, "
-        f"{service.stats.throughput():.0f} segments/s scoring time)"
+        f"\nServed {stats.segments_scored} segments in {stats.batches} micro-batches "
+        f"(mean batch {stats.mean_batch_size:.1f}, "
+        f"{stats.throughput():.0f} segments/s scoring time)"
     )
-    for trigger in service.update_triggers:
+    for trigger in runtime.update_triggers:
         print(
             f"  drift trigger at segment {trigger.segment_index}: similarity "
             f"{trigger.similarity:.3f}, {trigger.buffered_segments} buffered segments "
             f"from {len(trigger.stream_ids)} streams, scored by version {trigger.model_version}"
         )
-    for report in service.update_reports:
+    for report in runtime.update_reports:
         print(
             f"  update v{report.previous_version} -> v{report.version}: trained on "
             f"{report.samples} segments in {report.seconds:.2f}s, "
             f"T_a {report.previous_threshold:.4f} -> {report.threshold:.4f}"
         )
-    if not service.update_reports:
+    if not runtime.update_reports:
         print("  (no drift detected — try a stronger rotation in inject_drift)")
 
-    print(f"\nShard model versions: {dict(service.model_versions())}")
+    print(f"\nShard model versions: {dict(runtime.service.model_versions())}")
     for stream_id in streams:
-        routed = service.detections(stream_id)
-        by_version = {}
+        routed = runtime.detections(stream_id)
+        by_version: dict[int, int] = {}
         for detection in routed:
             by_version[detection.model_version] = by_version.get(detection.model_version, 0) + 1
         anomalies = sum(1 for d in routed if d.is_anomaly)
         print(
             f"  {stream_id:8s} {len(routed):4d} scored ({anomalies:3d} anomalies), "
             f"detections per model version: {by_version}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # 5. Crash recovery: checkpoint, restore, keep serving.
+    # ------------------------------------------------------------------ #
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = runtime.checkpoint(Path(tmp) / "aovlis-ckpt")
+        files = sorted(p.name for p in directory.iterdir())
+        print(f"\nCheckpointed {len(files)} files: {files}")
+        restored = Runtime.from_checkpoint(directory, clock=ManualClock())
+        print(
+            f"Restored at version {restored.model_version} "
+            f"(T_a = {restored.anomaly_threshold:.4f}); sessions, drift monitor "
+            f"and queued requests resume exactly where the original stopped."
         )
 
 

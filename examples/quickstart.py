@@ -1,12 +1,17 @@
-"""Quickstart: detect anomalies over a simulated live social video stream.
+"""Quickstart: the unified runtime in one config and five calls.
 
-This example walks through the whole AOVLIS pipeline on a small simulated
-influencer (live-commerce) stream:
+The whole AOVLIS system — feature scoring, CLSTM training, REIA detection,
+micro-batched serving — stands up behind a single declarative
+:class:`~repro.runtime.RuntimeConfig` and a :class:`~repro.runtime.Runtime`:
 
 1. simulate a training stream and a live test stream for the INF dataset;
 2. extract action-recognition and audience-interaction features;
-3. train the CLSTM model on the normal part of the training stream;
-4. score the live stream with REIA and report the detected anomalies.
+3. describe the deployment as one (reviewable, JSON-serialisable) config;
+4. ``Runtime.from_config(cfg).fit(train)`` — train, calibrate, publish v1;
+5. stream the live segments through ``ingest`` and read the detections.
+
+The lower-level building blocks (``AOVLIS``, ``ScoringService``, ...) remain
+public — see ``examples/multi_stream_serving.py`` for the escape hatch.
 
 Run with::
 
@@ -17,8 +22,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import AOVLIS, FeaturePipeline, auroc, load_dataset
-from repro.utils.config import TrainingConfig
+from repro import (
+    FeaturePipeline,
+    ModelConfig,
+    Runtime,
+    RuntimeConfig,
+    ServingConfig,
+    TrainingConfig,
+    auroc,
+    load_dataset,
+)
 
 
 def main() -> None:
@@ -39,43 +52,52 @@ def main() -> None:
     )
     train_features = pipeline.extract(spec.train)
     test_features = pipeline.extract(spec.test)
-    print(
-        f"Features: action d1={train_features.action_dim}, "
-        f"interaction d2={train_features.interaction_dim}, "
-        f"{train_features.num_segments} training segments"
-    )
 
     # ------------------------------------------------------------------ #
-    # 3. Train AOVLIS (CLSTM + REIA detector).
+    # 3. One declarative config describes the whole deployment.  In
+    #    production this is a reviewed JSON file: cfg.to_json() /
+    #    RuntimeConfig.from_json(path) round-trip it exactly.
     # ------------------------------------------------------------------ #
-    model = AOVLIS(
-        sequence_length=9,
-        action_hidden=48,
-        interaction_hidden=24,
+    config = RuntimeConfig(
+        model=ModelConfig(
+            action_dim=train_features.action_dim,
+            interaction_dim=train_features.interaction_dim,
+            action_hidden=48,
+            interaction_hidden=24,
+        ),
         training=TrainingConfig(epochs=15, batch_size=32, checkpoint_every=5, seed=42),
+        serving=ServingConfig(max_batch_size=32),
+        sequence_length=9,
+        enable_updates=False,  # frozen model is enough for a first detection
     )
-    model.fit(train_features)
-    print(f"Trained CLSTM with {model.model.num_parameters():,} parameters")
-    print(f"Calibrated anomaly threshold T_a = {model.anomaly_threshold:.4f}")
+    print(f"Deployment config is {len(config.to_json())} bytes of reviewable JSON")
 
     # ------------------------------------------------------------------ #
-    # 4. Detect anomalies over the live stream.
+    # 4. Train AOVLIS (CLSTM + REIA detector) and stand the service up.
     # ------------------------------------------------------------------ #
-    result = model.detect(test_features)
-    labels = test_features.labels[result.segment_indices]
-    detected = result.segment_indices[result.is_anomaly]
-    print(f"\nScored {len(result)} live segments; {len(detected)} flagged as anomalies")
-    print(f"AUROC against the simulator's ground truth: {auroc(labels, result.scores):.3f}")
+    runtime = Runtime.from_config(config).fit(train_features)
+    print(f"Trained CLSTM with {runtime.model.num_parameters():,} parameters")
+    print(f"Calibrated anomaly threshold T_a = {runtime.anomaly_threshold:.4f}")
+
+    # ------------------------------------------------------------------ #
+    # 5. Stream the live segments through the runtime.
+    # ------------------------------------------------------------------ #
+    detections = runtime.replay({"live": test_features})
+    runtime.close()
+
+    scores = np.array([d.score for d in detections])
+    labels = test_features.labels[[d.segment_index for d in detections]]
+    flagged = [d for d in detections if d.is_anomaly]
+    print(f"\nScored {len(detections)} live segments; {len(flagged)} flagged as anomalies")
+    print(f"AUROC against the simulator's ground truth: {auroc(labels, scores):.3f}")
 
     print("\nTop-5 most anomalous segments:")
-    top = result.top(5)
-    for segment_index in top:
-        position = int(np.where(result.segment_indices == segment_index)[0][0])
-        flag = "ANOMALY" if labels[position] else "normal"
+    for detection in sorted(detections, key=lambda d: d.score, reverse=True)[:5]:
+        truth = "ANOMALY" if test_features.labels[detection.segment_index] else "normal"
         print(
-            f"  segment {segment_index:4d}  REIA={result.scores[position]:.4f} "
-            f"(RE_I={result.action_errors[position]:.4f}, "
-            f"RE_A={result.interaction_errors[position]:.4f})  ground truth: {flag}"
+            f"  segment {detection.segment_index:4d}  REIA={detection.score:.4f} "
+            f"(RE_I={detection.action_error:.4f}, RE_A={detection.interaction_error:.4f})  "
+            f"ground truth: {truth}"
         )
 
 

@@ -6,16 +6,26 @@ features and audience-interaction features), the Coupling LSTM (CLSTM) model
 with REIA scoring, dynamic incremental model updates, ADG/ADOS detection
 optimisation, literature baselines and the full evaluation harness.
 
-Quick start::
+Quick start (the unified runtime; see :mod:`repro.runtime`)::
 
-    from repro import AOVLIS, FeaturePipeline, load_dataset
+    from repro import FeaturePipeline, Runtime, RuntimeConfig, load_dataset
 
     spec = load_dataset("INF")
     pipeline = FeaturePipeline(action_dim=100, motion_channels=spec.profile.motion_channels)
+    cfg = RuntimeConfig(model=ModelConfig(action_dim=pipeline.action_dim,
+                                          interaction_dim=pipeline.interaction_dim))
+    # ...or one reviewable file: RuntimeConfig.from_json("deployment.json")
+    rt = Runtime.from_config(cfg).fit(pipeline.extract(spec.train))
+    detections = rt.replay({"live": pipeline.extract(spec.test)})
+    rt.checkpoint("ckpt/")  # durable; Runtime.from_checkpoint resumes bitwise
+
+The batch-oriented facade remains::
+
+    from repro import AOVLIS
+
     model = AOVLIS(pipeline=pipeline)
     model.fit(pipeline.extract(spec.train))
     result = model.detect(pipeline.extract(spec.test))
-    print(result.scores[:10], result.is_anomaly[:10])
 """
 
 from .core import (
@@ -53,6 +63,7 @@ from .serving import (
     replay_streams,
 )
 from .evaluation import ExperimentHarness, ExperimentScale, auroc, roc_curve
+from .runtime import Runtime, RuntimeConfig
 from .utils import (
     DetectionConfig,
     ModelConfig,
@@ -99,6 +110,8 @@ __all__ = [
     "StreamDetection",
     "UpdatePlane",
     "replay_streams",
+    "Runtime",
+    "RuntimeConfig",
     "ExperimentHarness",
     "ExperimentScale",
     "auroc",

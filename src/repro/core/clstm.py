@@ -26,7 +26,7 @@ ablations:
 
 from __future__ import annotations
 
-from typing import Literal, Optional, Tuple
+from typing import TYPE_CHECKING, Literal, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +44,9 @@ from ..nn.backprop import (
 )
 from ..nn.fused import coupled_pair_forward_fused, fused_cache_fresh, prewarm_cell
 from ..nn.tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (utils must not import core)
+    from ..utils.config import ModelConfig
 
 __all__ = ["CLSTM", "CLSTMOutput", "CouplingMode"]
 
@@ -350,6 +353,43 @@ class CLSTM(nn.Module):
             interaction_hidden=self.interaction_hidden,
             coupling=self.coupling,
             seed=seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Declarative construction (repro.runtime / checkpoint restore)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(
+        cls,
+        config: "ModelConfig",
+        coupling: CouplingMode = "both",
+        seed: int = 0,
+    ) -> "CLSTM":
+        """Build a CLSTM from a :class:`~repro.utils.config.ModelConfig`.
+
+        The inverse of :attr:`model_config`; the unified runtime and the
+        checkpoint restore path rebuild architectures through this so a model
+        is fully described by ``(ModelConfig, coupling, seed)``.
+        """
+        return cls(
+            action_dim=config.action_dim,
+            interaction_dim=config.interaction_dim,
+            action_hidden=config.action_hidden,
+            interaction_hidden=config.interaction_hidden,
+            coupling=coupling,
+            seed=seed,
+        )
+
+    @property
+    def model_config(self) -> "ModelConfig":
+        """The :class:`~repro.utils.config.ModelConfig` describing this model."""
+        from ..utils.config import ModelConfig
+
+        return ModelConfig(
+            action_dim=self.action_dim,
+            interaction_dim=self.interaction_dim,
+            action_hidden=self.action_hidden,
+            interaction_hidden=self.interaction_hidden,
         )
 
     # ------------------------------------------------------------------ #

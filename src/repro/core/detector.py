@@ -65,10 +65,20 @@ class DetectionResult:
 class AnomalyDetector:
     """REIA-based anomaly detector around a trained CLSTM."""
 
-    def __init__(self, model: CLSTM, config: DetectionConfig | None = None) -> None:
+    def __init__(
+        self,
+        model: CLSTM,
+        config: DetectionConfig | None = None,
+        *,
+        threshold: Optional[float] = None,
+    ) -> None:
         self.model = model
         self.config = config if config is not None else DetectionConfig()
-        self.anomaly_threshold: Optional[float] = self.config.threshold
+        # An explicit construction-time threshold wins over the config's: the
+        # registry publishes detectors already bound to their calibrated T_a.
+        self.anomaly_threshold: Optional[float] = (
+            float(threshold) if threshold is not None else self.config.threshold
+        )
         self._calibration_scores: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #

@@ -33,7 +33,7 @@ from .losses import (
     weighted_reconstruction_loss,
 )
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
-from .serialization import save_module, load_state, load_into_module
+from .serialization import save_state, save_module, load_state, load_into_module
 from . import backprop
 from . import functional
 from . import init
@@ -73,6 +73,7 @@ __all__ = [
     "Adam",
     "Optimizer",
     "clip_grad_norm",
+    "save_state",
     "save_module",
     "load_state",
     "load_into_module",

@@ -16,9 +16,35 @@ import numpy as np
 
 from .module import Module
 
-__all__ = ["save_module", "load_state", "load_into_module"]
+__all__ = ["save_state", "save_module", "load_state", "load_into_module"]
 
 _METADATA_KEY = "__metadata__"
+
+
+def save_state(
+    path: Union[str, Path],
+    state: Dict[str, np.ndarray],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Persist a name → array mapping plus JSON metadata to ``path`` (``.npz``).
+
+    The archive format shared by module checkpoints (:func:`save_module`) and
+    the runtime's serving-state checkpoints: float64 arrays round-trip
+    bitwise, and the metadata blob carries any JSON-serialisable structure.
+    Read it back with :func:`load_state`.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if _METADATA_KEY in state:
+        raise ValueError(f"'{_METADATA_KEY}' is reserved for the metadata blob")
+    payload = dict(state)
+    payload[_METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
 
 
 def save_module(module: Module, path: Union[str, Path], metadata: Optional[Dict[str, Any]] = None) -> Path:
@@ -34,16 +60,7 @@ def save_module(module: Module, path: Union[str, Path], metadata: Optional[Dict[
         Optional JSON-serialisable dictionary stored alongside the weights
         (e.g. training configuration, dataset name, update counters).
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {name: value for name, value in module.state_dict().items()}
-    payload[_METADATA_KEY] = np.frombuffer(
-        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez_compressed(path, **payload)
-    return path
+    return save_state(path, module.state_dict(), metadata)
 
 
 def load_state(path: Union[str, Path]) -> tuple[Dict[str, np.ndarray], Dict[str, Any]]:

@@ -1,0 +1,565 @@
+"""Unified runtime facade: declarative config, one-call lifecycle, durable
+checkpoint/restore.
+
+The paper's system is one closed loop — ingest → CLSTM/REIA scoring →
+drift-triggered incremental update → hot swap — but the library exposes it as
+many loose classes that every deployment must wire by hand.  This module is
+the assembled product:
+
+* :class:`RuntimeConfig` composes the five configuration dataclasses
+  (:class:`~repro.utils.config.ModelConfig`,
+  :class:`~repro.utils.config.TrainingConfig`,
+  :class:`~repro.utils.config.DetectionConfig`,
+  :class:`~repro.utils.config.ServingConfig`,
+  :class:`~repro.utils.config.UpdateConfig`) plus the runtime-level knobs,
+  and round-trips through JSON — a deployment is one reviewable file.
+* :class:`Runtime` owns the whole pipeline behind a small lifecycle surface:
+  ``fit`` trains the CLSTM and calibrates the detector, publishing version 1
+  into a :class:`~repro.serving.registry.ModelRegistry`; ``ingest``/``poll``/
+  ``drain`` drive the (optionally sharded) micro-batching scoring service,
+  whose attached update planes keep the model fresh; ``checkpoint`` persists
+  the full runtime — every retained model version's weights via
+  :mod:`repro.nn.serialization`, detector calibration, the version pointer,
+  per-stream session windows, the drift monitor and queued requests — so
+  :meth:`Runtime.from_checkpoint` resumes with **bitwise-identical**
+  detections on a replayed stream (the crash-recovery contract).
+
+Every class the facade builds on stays importable — ``repro.serving`` and
+friends are the escape hatch for deployments the facade does not model
+(e.g. one registry per shard; see ``examples/multi_stream_serving.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from .core.clstm import CLSTM
+from .core.detector import AnomalyDetector
+from .core.training import CLSTMTrainer, TrainingHistory
+from .features.pipeline import StreamFeatures
+from .nn.serialization import load_state, save_module, save_state
+from .serving.maintenance import UpdateReport
+from .serving.registry import ModelRegistry
+from .serving.service import (
+    ManualClock,
+    ServiceStats,
+    StreamDetection,
+    UpdateTrigger,
+    replay_streams,
+)
+from .serving.sharding import ShardedScoringService
+from .utils.config import (
+    _NESTED_CONFIGS,
+    ConfigBase,
+    DetectionConfig,
+    ModelConfig,
+    ServingConfig,
+    TrainingConfig,
+    UpdateConfig,
+)
+
+__all__ = ["RuntimeConfig", "Runtime", "CHECKPOINT_FORMAT"]
+
+CHECKPOINT_FORMAT = 1
+"""Version tag written into every checkpoint manifest."""
+
+_MANIFEST_FILE = "runtime.json"
+_STATE_FILE = "state.npz"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig(ConfigBase):
+    """Declarative description of one complete AOVLIS deployment.
+
+    Composes the five component configurations and adds the knobs that only
+    exist at the assembled-system level.  ``to_json``/``from_json`` (from
+    :class:`~repro.utils.config.ConfigBase`) make a deployment one reviewable
+    JSON document; nested sections round-trip recursively and typos fail with
+    the offending ``Class.field`` named.
+    """
+
+    model: ModelConfig = ModelConfig()
+    """CLSTM dimensions.  ``action_dim``/``interaction_dim`` must match the
+    features the runtime is fitted on (validated in :meth:`Runtime.fit`)."""
+
+    training: TrainingConfig = TrainingConfig()
+    detection: DetectionConfig = DetectionConfig()
+    serving: ServingConfig = ServingConfig()
+    update: UpdateConfig = UpdateConfig()
+
+    sequence_length: int = 9
+    """History length q of the CLSTM input sequences."""
+
+    coupling: str = "both"
+    """CLSTM coupling mode: ``"both"``, ``"influencer_to_audience"`` or ``"none"``."""
+
+    seed: int = 0
+    """Model-initialisation seed."""
+
+    max_versions: int | None = None
+    """Keep-last-K bound on retained registry snapshots (``None`` = all)."""
+
+    enable_updates: bool = True
+    """Attach the drift monitor and update plane (the closed learning loop).
+    ``False`` serves a frozen model: no buffering, no triggers, no swaps."""
+
+    max_history: int | None = None
+    """Per-shard cap on the drift monitor's historical hidden-state set."""
+
+    def __post_init__(self) -> None:
+        if self.sequence_length < 1:
+            raise ValueError(
+                f"RuntimeConfig.sequence_length must be positive, got {self.sequence_length}"
+            )
+        if self.coupling not in ("both", "influencer_to_audience", "none"):
+            raise ValueError(
+                f"RuntimeConfig.coupling must be 'both', 'influencer_to_audience' "
+                f"or 'none', got {self.coupling!r}"
+            )
+        if self.max_versions is not None and self.max_versions < 1:
+            raise ValueError(
+                f"RuntimeConfig.max_versions must be positive when set, got {self.max_versions}"
+            )
+        if self.max_history is not None and self.max_history < 1:
+            raise ValueError(
+                f"RuntimeConfig.max_history must be positive when set, got {self.max_history}"
+            )
+        if self.detection.top_k is not None:
+            raise ValueError(
+                "RuntimeConfig.detection.top_k must be unset: top-k ranking is "
+                "batch-relative and incompatible with the serving runtime"
+            )
+
+
+_NESTED_CONFIGS["RuntimeConfig"] = RuntimeConfig
+
+
+class Runtime:
+    """One-call lifecycle over the assembled online-learning system.
+
+    ::
+
+        cfg = RuntimeConfig.from_json("deployment.json")
+        rt = Runtime.from_config(cfg).fit(train_features)
+        rt.ingest("stream-1", action, interaction, level)   # -> detections
+        rt.poll()                                           # deadline flushes
+        rt.drain()                                          # drain all queues
+        rt.checkpoint("ckpt/")                              # durable state
+        rt2 = Runtime.from_checkpoint("ckpt/")              # bitwise resume
+
+    Parameters
+    ----------
+    config:
+        The deployment description.
+    clock:
+        Monotonic time source for the wall-clock flush deadlines; tests and
+        replay drivers inject a :class:`~repro.serving.service.ManualClock`.
+    """
+
+    def __init__(self, config: RuntimeConfig, *, clock: Optional[Callable[[], float]] = None) -> None:
+        self.config = config
+        self._clock = clock
+        self.registry: Optional[ModelRegistry] = None
+        self.service: Optional[ShardedScoringService] = None
+        self.history: Optional[TrainingHistory] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(
+        cls, config: RuntimeConfig, *, clock: Optional[Callable[[], float]] = None
+    ) -> "Runtime":
+        """An unfitted runtime for ``config``; call :meth:`fit` next."""
+        return cls(config, clock=clock)
+
+    @property
+    def fitted(self) -> bool:
+        return self.service is not None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle: fit
+    # ------------------------------------------------------------------ #
+    def fit(self, features: StreamFeatures) -> "Runtime":
+        """Train, calibrate and stand the serving runtime up (version 1).
+
+        Trains the CLSTM on the normal segments of ``features``, calibrates
+        the anomaly threshold ``T_a``, publishes version 1 into the model
+        registry, seeds the drift monitor's historical hidden-state set with
+        the training hidden states, and builds the sharded scoring service
+        (with attached update planes when ``enable_updates``).
+        """
+        self._require_open()
+        if self.fitted:
+            raise RuntimeError("runtime is already fitted; build a new Runtime to refit")
+        config = self.config
+        if features.action_dim != config.model.action_dim:
+            raise ValueError(
+                f"features have action_dim={features.action_dim} but "
+                f"RuntimeConfig.model.action_dim={config.model.action_dim}"
+            )
+        if features.interaction_dim != config.model.interaction_dim:
+            raise ValueError(
+                f"features have interaction_dim={features.interaction_dim} but "
+                f"RuntimeConfig.model.interaction_dim={config.model.interaction_dim}"
+            )
+        model = CLSTM.from_config(config.model, coupling=config.coupling, seed=config.seed)
+        batch = features.sequences(config.sequence_length)
+        labels = features.sequence_labels(config.sequence_length)
+        normal = batch.subset(labels == 0)
+        anomalous = batch.subset(labels == 1)
+        if len(normal) == 0:
+            raise ValueError("training stream contains no normal sequences")
+        trainer = CLSTMTrainer(model, config.training)
+        self.history = trainer.fit(
+            normal, anomalous_sequences=anomalous if len(anomalous) else None
+        )
+        detector = AnomalyDetector(model, config.detection)
+        threshold = detector.calibrate(normal)
+
+        self.registry = ModelRegistry(config.detection, max_versions=config.max_versions)
+        # The runtime owns the trained model, so the registry adopts it
+        # directly (copy=False) instead of paying one more parameter copy.
+        self.registry.publish(model, threshold, reason="initial", copy=False)
+        historical = model.hidden_states(batch.action_sequences, batch.interaction_sequences)
+        self._build_service(historical_hidden=historical)
+        return self
+
+    def _build_service(self, historical_hidden: Optional[np.ndarray]) -> None:
+        config = self.config
+        self.service = ShardedScoringService(
+            self.registry,
+            config=config.serving,
+            sequence_length=config.sequence_length,
+            update_config=config.update if config.enable_updates else None,
+            attach_update_planes=config.enable_updates,
+            training_config=config.training,
+            historical_hidden=historical_hidden,
+            max_history=config.max_history,
+            clock=self._clock,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle: serve
+    # ------------------------------------------------------------------ #
+    def ingest(
+        self,
+        stream_id: str,
+        action_feature: np.ndarray,
+        interaction_feature: np.ndarray,
+        interaction_level: float = float("nan"),
+    ) -> List[StreamDetection]:
+        """Feed one incoming segment of one stream into the runtime.
+
+        Returns the detections produced by any micro-batch this submission
+        completed (usually for *earlier* segments — the latency/throughput
+        trade of micro-batching; :meth:`drain` flushes the rest).
+        """
+        self._require_serving()
+        return self.service.submit(
+            stream_id, action_feature, interaction_feature, interaction_level
+        )
+
+    def poll(self) -> List[StreamDetection]:
+        """Flush micro-batches whose wall-clock deadline has passed."""
+        self._require_serving()
+        return self.service.poll()
+
+    def drain(self) -> List[StreamDetection]:
+        """Score every queued request regardless of batch occupancy."""
+        self._require_serving()
+        return self.service.flush()
+
+    def replay(
+        self,
+        streams: Mapping[str, StreamFeatures],
+        *,
+        interarrival_seconds: float = 0.0,
+        flush: bool = True,
+    ) -> List[StreamDetection]:
+        """Replay whole feature streams through the runtime (round-robin).
+
+        Convenience over :func:`repro.serving.replay_streams`; when the
+        runtime was built with a :class:`ManualClock`, simulated time advances
+        by ``interarrival_seconds`` per round and deadline flushes run.
+        """
+        self._require_serving()
+        clock = self._clock if isinstance(self._clock, ManualClock) else None
+        return replay_streams(
+            self.service,
+            streams,
+            flush=flush,
+            clock=clock,
+            interarrival_seconds=interarrival_seconds,
+        )
+
+    def detections(self, stream_id: str) -> List[StreamDetection]:
+        """All detections routed to ``stream_id`` since fit/restore."""
+        self._require_serving()
+        return self.service.detections(stream_id)
+
+    def close(self) -> List[StreamDetection]:
+        """Drain outstanding work and stop accepting traffic.
+
+        Returns the final flush's detections.  Idempotent; a closed runtime
+        can still be inspected and checkpointed, but not fed.
+        """
+        if self._closed:
+            return []
+        final: List[StreamDetection] = []
+        if self.fitted:
+            final = self.service.flush()
+        self._closed = True
+        return final
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> Optional[CLSTM]:
+        """The currently *published* snapshot's model (None before fit).
+
+        Tracks the registry: after an in-service incremental update this is
+        the merged model actually serving traffic, not the initial fit.
+        """
+        if self.registry is None or len(self.registry) == 0:
+            return None
+        return self.registry.latest().model
+
+    @property
+    def detector(self) -> AnomalyDetector:
+        """The currently published snapshot's detector."""
+        self._require_fitted()
+        return self.registry.latest().detector
+
+    @property
+    def anomaly_threshold(self) -> float:
+        """The currently served anomaly threshold ``T_a``."""
+        self._require_fitted()
+        return self.registry.latest().threshold
+
+    @property
+    def model_version(self) -> int:
+        """Version number of the currently published snapshot."""
+        self._require_fitted()
+        return self.registry.latest().version
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Aggregate serving counters across all shards."""
+        self._require_serving_built()
+        return self.service.stats
+
+    @property
+    def update_triggers(self) -> List[UpdateTrigger]:
+        """Every drift trigger emitted since fit/restore."""
+        self._require_serving_built()
+        return self.service.update_triggers
+
+    @property
+    def update_reports(self) -> List[UpdateReport]:
+        """Every completed in-service incremental update since fit/restore."""
+        self._require_serving_built()
+        return self.service.update_reports
+
+    # ------------------------------------------------------------------ #
+    # Durable checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, path: Union[str, Path]) -> Path:
+        """Persist the full runtime into the directory ``path``.
+
+        Layout: ``runtime.json`` (config, registry manifest, version
+        pointer), one ``version_<n>.npz`` per retained registry snapshot
+        (weights via :func:`repro.nn.serialization.save_module`) and
+        ``state.npz`` (session windows, drift monitor, queued requests).
+        Only *retained* snapshots are persisted — with ``max_versions`` set,
+        evicted versions are gone by design, and a checkpoint taken
+        mid-update (e.g. from an ``on_update_trigger`` callback) never
+        references one.  Detections, triggers and serving counters are
+        reporting, not behaviour, and are not persisted.
+
+        The write is crash-safe: everything lands in a staging directory
+        that is swapped over ``path`` only once complete, so re-checkpointing
+        to the same location (the periodic-checkpoint pattern) can never
+        leave a readable-but-inconsistent mix of old and new files — a crash
+        leaves either the previous checkpoint or, in the narrow window
+        between the two renames, no checkpoint (which fails loudly).
+        """
+        self._require_fitted()
+        self._require_serving_built()
+        target = Path(path)
+        directory = target.parent / f".{target.name}.staging"
+        if directory.exists():
+            shutil.rmtree(directory)
+        directory.mkdir(parents=True)
+
+        versions: List[Dict[str, Any]] = []
+        for snapshot in self.registry.retained():
+            filename = f"version_{snapshot.version:06d}.npz"
+            save_module(
+                snapshot.model,
+                directory / filename,
+                metadata={
+                    "version": snapshot.version,
+                    "threshold": snapshot.threshold,
+                    "reason": snapshot.reason,
+                    "metadata": dict(snapshot.metadata),
+                },
+            )
+            versions.append(
+                {
+                    "version": snapshot.version,
+                    "threshold": snapshot.threshold,
+                    "reason": snapshot.reason,
+                    "metadata": dict(snapshot.metadata),
+                    "file": filename,
+                }
+            )
+
+        arrays: Dict[str, np.ndarray] = {}
+        structure = _pack(self.service.export_state(), arrays)
+        save_state(directory / _STATE_FILE, arrays, metadata={"state": structure})
+
+        manifest = {
+            "format": CHECKPOINT_FORMAT,
+            "config": self.config.to_dict(),
+            "published": self.registry.highest_published,
+            "versions": versions,
+        }
+        (directory / _MANIFEST_FILE).write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        # Atomic swap: the complete staging directory replaces the target.
+        if target.exists():
+            discarded = target.parent / f".{target.name}.discarded"
+            if discarded.exists():
+                shutil.rmtree(discarded)
+            os.replace(target, discarded)
+            os.replace(directory, target)
+            shutil.rmtree(discarded)
+        else:
+            os.replace(directory, target)
+        return target
+
+    @classmethod
+    def from_checkpoint(
+        cls, path: Union[str, Path], *, clock: Optional[Callable[[], float]] = None
+    ) -> "Runtime":
+        """Rebuild a fitted runtime from a :meth:`checkpoint` directory.
+
+        The restored runtime serves the same model versions with the same
+        thresholds, continues every stream's rolling window where it left
+        off, and resumes the drift monitor (history set, buffers, update
+        counter) — so replaying the same tail of traffic produces
+        **bitwise-identical** detections and version swaps.
+        """
+        directory = Path(path)
+        manifest_path = directory / _MANIFEST_FILE
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no runtime checkpoint at {directory}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"unsupported checkpoint format {manifest.get('format')!r}; "
+                f"this build reads format {CHECKPOINT_FORMAT}"
+            )
+        config = RuntimeConfig.from_dict(manifest["config"])
+        runtime = cls(config, clock=clock)
+
+        registry = ModelRegistry(config.detection, max_versions=config.max_versions)
+        entries = sorted(manifest["versions"], key=lambda entry: entry["version"])
+        if not entries:
+            raise ValueError(f"checkpoint at {directory} holds no model versions")
+        for entry in entries:
+            model = CLSTM.from_config(config.model, coupling=config.coupling, seed=config.seed)
+            state, _ = load_state(directory / entry["file"])
+            model.load_state_dict(state)
+            registry.restore(
+                entry["version"],
+                model,
+                entry["threshold"],
+                reason=entry["reason"],
+                metadata=entry.get("metadata") or {},
+            )
+        if registry.highest_published != manifest["published"]:
+            raise ValueError(
+                f"inconsistent checkpoint: manifest version pointer is "
+                f"{manifest['published']}, restored weights end at "
+                f"{registry.highest_published}"
+            )
+        runtime.registry = registry
+        runtime._build_service(historical_hidden=None)
+
+        arrays, metadata = load_state(directory / _STATE_FILE)
+        runtime.service.restore_state(_unpack(metadata["state"], arrays))
+        return runtime
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("runtime is closed")
+
+    def _require_fitted(self) -> None:
+        if self.registry is None:
+            raise RuntimeError("runtime is not fitted; call fit() or from_checkpoint()")
+
+    def _require_serving_built(self) -> None:
+        if self.service is None:
+            raise RuntimeError("runtime is not fitted; call fit() or from_checkpoint()")
+
+    def _require_serving(self) -> None:
+        self._require_open()
+        self._require_serving_built()
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoint codec: JSON structure + ndarray leaves
+# ---------------------------------------------------------------------- #
+_ARRAY_KEY = "__ndarray__"
+
+
+def _pack(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Split a nested state structure into JSON plus an array table.
+
+    Arrays are replaced by ``{"__ndarray__": key}`` markers and collected
+    into ``arrays`` (persisted losslessly via ``.npz``); everything else must
+    be JSON-representable.  :func:`_unpack` is the exact inverse.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.ndarray):
+        key = f"a{len(arrays)}"
+        arrays[key] = value
+        return {_ARRAY_KEY: key}
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, Mapping):
+        if _ARRAY_KEY in value:
+            raise ValueError(f"'{_ARRAY_KEY}' is a reserved key in checkpoint state")
+        return {str(key): _pack(item, arrays) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_pack(item, arrays) for item in value]
+    raise TypeError(f"cannot checkpoint value of type {type(value).__name__}")
+
+
+def _unpack(value: Any, arrays: Mapping[str, np.ndarray]) -> Any:
+    """Inverse of :func:`_pack`."""
+    if isinstance(value, dict):
+        if set(value) == {_ARRAY_KEY}:
+            return arrays[value[_ARRAY_KEY]]
+        return {key: _unpack(item, arrays) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_unpack(item, arrays) for item in value]
+    return value

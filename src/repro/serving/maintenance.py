@@ -99,11 +99,24 @@ class UpdatePlane:
         self.recalibration_quantile = recalibration_quantile
         self.reports: List[UpdateReport] = []
         self.total_update_seconds = 0.0
+        self._restored_updates = 0
 
     # ------------------------------------------------------------------ #
     @property
     def updates_performed(self) -> int:
-        return len(self.reports)
+        """Total updates across this plane's lifetime, including the ones a
+        restored plane inherited from before its checkpoint.  The count seeds
+        the per-update training RNG, so resuming from a checkpoint retrains
+        with exactly the seeds the original plane would have used."""
+        return self._restored_updates + len(self.reports)
+
+    def restore_update_count(self, count: int) -> None:
+        """Adopt the update count of a checkpointed plane (restore path)."""
+        if count < 0:
+            raise ValueError(f"update count must be non-negative, got {count}")
+        if self.reports:
+            raise RuntimeError("restore_update_count requires a plane with no updates yet")
+        self._restored_updates = int(count)
 
     @staticmethod
     def assemble_samples(samples: Sequence[ScoreRequest]) -> SequenceBatch:

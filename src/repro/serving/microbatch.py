@@ -109,6 +109,15 @@ class MicroBatcher:
             return False
         return (now - oldest) >= self.max_delay_seconds
 
+    def pending(self) -> List[ScoreRequest]:
+        """The queued requests in arrival order, without draining them.
+
+        The checkpoint path persists these so a restored service re-queues
+        exactly the requests that were waiting when the checkpoint was taken
+        (arrival stamps are re-issued at restore time).
+        """
+        return list(self._queue)
+
     def drain(self) -> List[ScoreRequest]:
         """Pop up to ``max_batch_size`` requests (empty list when idle)."""
         batch: List[ScoreRequest] = []

@@ -130,6 +130,46 @@ class ModelRegistry:
         instance directly (the caller then promises never to mutate it);
         its caches are still prewarmed here.
         """
+        return self._insert(
+            self._published + 1, model, threshold, reason=reason, metadata=metadata, copy=copy
+        )
+
+    def restore(
+        self,
+        version: int,
+        model: CLSTM,
+        threshold: float,
+        *,
+        reason: str = "publish",
+        metadata: Optional[Mapping[str, float]] = None,
+    ) -> ModelSnapshot:
+        """Re-insert a snapshot under its **original** version number.
+
+        The checkpoint-restore path replays retained snapshots in ascending
+        order; re-numbering them from 1 would collide with version numbers
+        already handed out (and possibly evicted) before the checkpoint, so
+        ``version`` must strictly exceed every version this registry has ever
+        published.  The model is adopted (no copy) and its fused caches are
+        prewarmed, exactly like ``publish(copy=False)``.
+        """
+        version = int(version)
+        if version <= self._published:
+            raise ValueError(
+                f"restore version {version} must exceed the highest version "
+                f"ever published ({self._published})"
+            )
+        return self._insert(version, model, threshold, reason=reason, metadata=metadata, copy=False)
+
+    def _insert(
+        self,
+        version: int,
+        model: CLSTM,
+        threshold: float,
+        *,
+        reason: str,
+        metadata: Optional[Mapping[str, float]],
+        copy: bool,
+    ) -> ModelSnapshot:
         threshold = float(threshold)
         if not np.isfinite(threshold):
             raise ValueError(f"threshold must be finite, got {threshold}")
@@ -138,11 +178,10 @@ class ModelRegistry:
         else:
             published = model
             published.prewarm_fused()
-        detector = AnomalyDetector(published, self.detection_config)
-        detector.anomaly_threshold = threshold
-        self._published += 1
+        detector = AnomalyDetector(published, self.detection_config, threshold=threshold)
+        self._published = version
         snapshot = ModelSnapshot(
-            version=self._published,
+            version=version,
             model=published,
             threshold=threshold,
             detector=detector,
@@ -154,7 +193,15 @@ class ModelRegistry:
         self._latest = snapshot
         if self.max_versions is not None:
             while len(self._snapshots) > self.max_versions:
-                self._snapshots.pop(min(self._snapshots))
+                oldest = min(self._snapshots)
+                if oldest == snapshot.version:
+                    # Never evict the snapshot being published: with
+                    # max_versions=1 the latest version must stay reachable,
+                    # or a checkpoint taken mid-publish (e.g. inside an
+                    # update-trigger callback) would enumerate an empty or
+                    # stale registry.
+                    break
+                self._snapshots.pop(oldest)
         return snapshot
 
     @classmethod
@@ -211,6 +258,21 @@ class ModelRegistry:
     def versions(self) -> List[int]:
         """All retained version numbers, ascending."""
         return sorted(self._snapshots)
+
+    def retained(self) -> List[ModelSnapshot]:
+        """All retained snapshots in ascending version order.
+
+        This is the consistent enumeration the checkpoint path walks: it can
+        never surface an evicted version, and — because eviction in
+        :meth:`publish` keeps the just-published latest — it always contains
+        :meth:`latest`, even with ``max_versions=1`` mid-update.
+        """
+        return [self._snapshots[version] for version in sorted(self._snapshots)]
+
+    @property
+    def highest_published(self) -> int:
+        """The highest version number ever handed out (0 before any publish)."""
+        return self._published
 
     def __len__(self) -> int:
         return len(self._snapshots)

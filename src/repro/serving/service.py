@@ -457,6 +457,7 @@ class ScoringService:
         if self.update_config is None:
             return
         threshold = self._interaction_threshold()
+        reactions: List[tuple] = []
         for position, request in enumerate(requests):
             level = request.interaction_level
             if np.isnan(level):
@@ -469,7 +470,24 @@ class ScoringService:
                 if self._buffer_requests is not None:
                     self._buffer_requests.append(request)
             if len(self._buffer_hidden) >= self.update_config.buffer_size:
-                self._drift_check(request.segment_index, model_version)
+                reaction = self._drift_check(request.segment_index, model_version)
+                if reaction is not None:
+                    reactions.append(reaction)
+        # React only after every row of the batch has been observed.  The
+        # drift transaction itself (similarity check, history absorption,
+        # buffer clear) completed inside _drift_check, so by the time the
+        # update plane or a trigger callback runs — both may checkpoint the
+        # runtime — the monitor is in a consistent, resumable state and no
+        # half-observed batch is left behind: a checkpoint taken inside a
+        # callback lands exactly on an inter-batch boundary.
+        for trigger, samples in reactions:
+            if samples is not None:
+                # Close the Fig. 5 loop in-runtime: train on the drained
+                # presumed-normal buffer, merge, re-calibrate, publish.  The
+                # swap becomes visible at the next batch's snapshot pin.
+                self.update_plane.handle_trigger(trigger, samples)
+            if self.on_update_trigger is not None:
+                self.on_update_trigger(trigger)
 
     def _interaction_threshold(self) -> float:
         if self.update_config.interaction_threshold is not None:
@@ -478,14 +496,23 @@ class ScoringService:
             return float("inf")  # before any observation, everything buffers
         return self._level_sum / self._level_count
 
-    def _drift_check(self, segment_index: int, model_version: int) -> None:
+    def _drift_check(self, segment_index: int, model_version: int) -> Optional[tuple]:
+        """Run one drift check; return the deferred reaction (or ``None``).
+
+        The whole drift *transaction* happens here — similarity, trigger
+        recording, sample materialisation, history absorption (line 14 of
+        Fig. 5) and buffer clearing — but the *reaction* (update plane,
+        user callback) is returned to the caller to run once the batch is
+        fully observed.
+        """
         incoming = np.stack(self._buffer_hidden, axis=0)
         if self._historical_hidden is None:
             # First full buffer seeds the history; no drift can be measured yet.
             self._historical_hidden = incoming
             self._clear_buffer()
-            return
+            return None
         similarity = hidden_set_similarity(self._historical_hidden, incoming)
+        reaction: Optional[tuple] = None
         if similarity <= self.update_config.drift_threshold:
             trigger = UpdateTrigger(
                 segment_index=segment_index,
@@ -495,30 +522,116 @@ class ScoringService:
                 model_version=model_version,
             )
             self.update_triggers.append(trigger)
+            samples: Optional[tuple] = None
             if self.update_plane is not None and len(self._buffer_requests) == len(
                 self._buffer_hidden
             ):
-                # Close the Fig. 5 loop in-runtime: train on the drained
-                # presumed-normal buffer, merge, re-calibrate, publish.  The
-                # swap becomes visible at the next batch's snapshot pin.
                 # (A plane attached mid-buffer retained only part of this
                 # buffer's samples — skip the update rather than train and
                 # re-calibrate on a fragment; the next full buffer is
                 # complete, since the buffer clears below.)
-                self.update_plane.handle_trigger(trigger, tuple(self._buffer_requests))
-            if self.on_update_trigger is not None:
-                self.on_update_trigger(trigger)
+                samples = tuple(self._buffer_requests)
+            reaction = (trigger, samples)
         # History absorbs the buffer either way (line 14 of Fig. 5).
         self._historical_hidden = np.concatenate([self._historical_hidden, incoming], axis=0)
         if self.max_history is not None and len(self._historical_hidden) > self.max_history:
             self._historical_hidden = self._historical_hidden[-self.max_history :]
         self._clear_buffer()
+        return reaction
 
     def _clear_buffer(self) -> None:
         self._buffer_hidden.clear()
         self._buffer_stream_ids.clear()
         if self._buffer_requests is not None:
             self._buffer_requests.clear()
+
+    # ------------------------------------------------------------------ #
+    # Durable state (checkpoint/restore)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> Dict[str, object]:
+        """Everything a restored service needs to *continue* this one.
+
+        Covers the per-stream rolling windows, the drift monitor (history
+        set, presumed-normal buffers, interaction-level running mean) and the
+        requests still queued in the micro-batcher.  Deliberately excluded —
+        they are reporting, not behaviour: past detections, emitted triggers,
+        and serving counters (a restored service starts those at zero).
+        The returned structure is JSON-plus-ndarray; the runtime's checkpoint
+        codec handles persistence.
+        """
+        return {
+            "sessions": {
+                stream_id: {
+                    "action_history": list(session.action_history),
+                    "interaction_history": list(session.interaction_history),
+                    "segments_seen": session.segments_seen,
+                }
+                for stream_id, session in self.sessions.items()
+            },
+            "historical_hidden": self._historical_hidden,
+            "buffer_hidden": list(self._buffer_hidden),
+            "buffer_stream_ids": list(self._buffer_stream_ids),
+            "buffer_requests": (
+                [_request_state(request) for request in self._buffer_requests]
+                if self._buffer_requests is not None
+                else None
+            ),
+            "level_sum": self._level_sum,
+            "level_count": self._level_count,
+            "pending": [_request_state(request) for request in self.batcher.pending()],
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Load an :meth:`export_state` payload into this (fresh) service."""
+        if self.sessions or len(self.batcher):
+            raise RuntimeError("restore_state requires a fresh service (no traffic yet)")
+        for stream_id, payload in state["sessions"].items():
+            session = self.session(stream_id)
+            for row in payload["action_history"]:
+                session.action_history.append(np.asarray(row, dtype=np.float64))
+            for row in payload["interaction_history"]:
+                session.interaction_history.append(np.asarray(row, dtype=np.float64))
+            session.segments_seen = int(payload["segments_seen"])
+        historical = state["historical_hidden"]
+        self._historical_hidden = (
+            np.asarray(historical, dtype=np.float64) if historical is not None else None
+        )
+        self._buffer_hidden = [np.asarray(row, dtype=np.float64) for row in state["buffer_hidden"]]
+        self._buffer_stream_ids = [str(stream_id) for stream_id in state["buffer_stream_ids"]]
+        buffered = state.get("buffer_requests")
+        if self._buffer_requests is not None and buffered is not None:
+            self._buffer_requests = [_request_from_state(payload) for payload in buffered]
+        self._level_sum = float(state["level_sum"])
+        self._level_count = int(state["level_count"])
+        now = self._clock() if self.max_batch_delay_ms is not None else None
+        for payload in state["pending"]:
+            self.batcher.submit(_request_from_state(payload), now=now)
+
+
+def _request_state(request: ScoreRequest) -> Dict[str, object]:
+    """A :class:`ScoreRequest` as a plain field dict (checkpoint leaf)."""
+    return {
+        "stream_id": request.stream_id,
+        "segment_index": request.segment_index,
+        "action_history": request.action_history,
+        "interaction_history": request.interaction_history,
+        "action_target": request.action_target,
+        "interaction_target": request.interaction_target,
+        "interaction_level": request.interaction_level,
+    }
+
+
+def _request_from_state(state: Mapping[str, object]) -> ScoreRequest:
+    """Inverse of :func:`_request_state`."""
+    return ScoreRequest(
+        stream_id=str(state["stream_id"]),
+        segment_index=int(state["segment_index"]),
+        action_history=np.asarray(state["action_history"], dtype=np.float64),
+        interaction_history=np.asarray(state["interaction_history"], dtype=np.float64),
+        action_target=np.asarray(state["action_target"], dtype=np.float64),
+        interaction_target=np.asarray(state["interaction_target"], dtype=np.float64),
+        interaction_level=float(state["interaction_level"]),
+    )
 
 
 def replay_streams(

@@ -237,15 +237,67 @@ class ShardedScoringService:
         Shards sharing a registry share an update plane, so planes are
         deduplicated before their reports are collected.
         """
-        reports: List[UpdateReport] = []
-        seen: List[UpdatePlane] = []
-        for shard in self.shards:
-            plane = shard.update_plane
-            if plane is not None and not any(plane is known for known in seen):
-                seen.append(plane)
-                reports.extend(plane.reports)
-        return reports
+        return [report for plane in self._distinct_planes() for report in plane.reports]
 
     def model_versions(self) -> Mapping[int, int]:
         """shard index -> currently published model version."""
         return {index: shard.model_version for index, shard in enumerate(self.shards)}
+
+    # ------------------------------------------------------------------ #
+    # Durable state (checkpoint/restore)
+    # ------------------------------------------------------------------ #
+    def _distinct_planes(self) -> List[UpdatePlane]:
+        """Every attached plane once, in first-owning-shard order."""
+        planes: List[UpdatePlane] = []
+        for shard in self.shards:
+            plane = shard.update_plane
+            if plane is not None and not any(plane is known for known in planes):
+                planes.append(plane)
+        return planes
+
+    def export_state(self) -> Dict[str, object]:
+        """Continuation state of the whole sharded runtime.
+
+        Bundles each shard's :meth:`ScoringService.export_state`, the pinned
+        stream → shard routes, and every distinct update plane's lifetime
+        update count (the count seeds the per-update training RNG, so it must
+        survive a checkpoint for retrains to stay deterministic).
+        """
+        return {
+            "routes": dict(self._routes),
+            "shards": [shard.export_state() for shard in self.shards],
+            "plane_updates": [plane.updates_performed for plane in self._distinct_planes()],
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Load an :meth:`export_state` payload into this (fresh) runtime.
+
+        The service must have been rebuilt with the same shard count and
+        plane layout the checkpoint was taken with (the runtime facade
+        guarantees this by rebuilding from the persisted config).
+        """
+        shard_states = state["shards"]
+        if len(shard_states) != len(self.shards):
+            raise ValueError(
+                f"checkpoint has {len(shard_states)} shard(s); "
+                f"this service was built with {len(self.shards)}"
+            )
+        for stream_id, index in state["routes"].items():
+            index = int(index)
+            if not 0 <= index < len(self.shards):
+                raise ValueError(
+                    f"checkpoint routes stream '{stream_id}' to shard {index}; "
+                    f"valid range is [0, {len(self.shards)})"
+                )
+            self._routes[str(stream_id)] = index
+        for shard, shard_state in zip(self.shards, shard_states):
+            shard.restore_state(shard_state)
+        planes = self._distinct_planes()
+        plane_updates = state.get("plane_updates") or []
+        if len(plane_updates) != len(planes):
+            raise ValueError(
+                f"checkpoint has {len(plane_updates)} update plane(s); "
+                f"this service was built with {len(planes)}"
+            )
+        for plane, count in zip(planes, plane_updates):
+            plane.restore_update_count(int(count))

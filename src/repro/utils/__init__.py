@@ -1,6 +1,7 @@
 """Shared utilities: configuration, RNG management, validation, timing."""
 
 from .config import (
+    ConfigBase,
     StreamProtocol,
     ModelConfig,
     TrainingConfig,
@@ -13,6 +14,7 @@ from .timer import Stopwatch, TimingAccumulator
 from . import validation
 
 __all__ = [
+    "ConfigBase",
     "StreamProtocol",
     "ModelConfig",
     "TrainingConfig",

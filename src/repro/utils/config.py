@@ -9,14 +9,120 @@ the choices visible to downstream users.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
-from typing import Any, Dict
+import dataclasses
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
 
-__all__ = ["StreamProtocol", "ModelConfig", "TrainingConfig", "DetectionConfig"]
+__all__ = [
+    "ConfigBase",
+    "StreamProtocol",
+    "ModelConfig",
+    "TrainingConfig",
+    "DetectionConfig",
+]
+
+
+class ConfigBase:
+    """Dict and JSON round-trip shared by every configuration dataclass.
+
+    ``to_dict`` has had no inverse since the seed; ``from_dict`` closes the
+    loop with strict validation — unknown fields and wrong types raise a
+    :class:`ValueError` that names the offending ``Class.field``, so a typo
+    in a deployment file fails loudly instead of being silently dropped.
+    ``to_json``/``from_json`` layer a reviewable file format on top (nested
+    configuration dataclasses round-trip recursively).
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (nested config dataclasses become nested dicts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConfigBase":
+        """Inverse of :meth:`to_dict`; validation errors name the bad field."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"{cls.__name__}.from_dict expects a mapping, got {type(data).__name__}"
+            )
+        known = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ValueError(
+                f"{cls.__name__}: unknown field(s) {unknown}; "
+                f"valid fields: {sorted(known)}"
+            )
+        kwargs = {
+            name: _coerce_field(cls.__name__, known[name], value)
+            for name, value in data.items()
+        }
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        """A reviewable JSON document equivalent to this configuration."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "ConfigBase":
+        """Parse a configuration from JSON text or from a JSON file path.
+
+        A :class:`~pathlib.Path`, or a string that does not start with ``{``,
+        is treated as a file path; anything else is parsed as JSON text.
+        """
+        if isinstance(source, Path) or not str(source).lstrip().startswith("{"):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = str(source)
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{cls.__name__}: invalid JSON ({error})") from None
+        return cls.from_dict(data)
+
+
+# Field types that appear in the configuration dataclasses, mapped to the
+# python types a JSON document may legitimately supply for them.
+_FIELD_TYPES: Dict[str, tuple] = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+    "int | None": (int, type(None)),
+    "float | None": (int, float, type(None)),
+}
+
+
+def _coerce_field(owner: str, spec: dataclasses.Field, value: Any) -> Any:
+    """Validate/convert one ``from_dict`` value, naming the field on error."""
+    declared = spec.type if isinstance(spec.type, str) else getattr(spec.type, "__name__", "")
+    # Nested configuration dataclasses (RuntimeConfig composes five of them)
+    # recurse through the sub-config's own from_dict.
+    nested = _NESTED_CONFIGS.get(declared)
+    if nested is not None:
+        if isinstance(nested, type) and isinstance(value, nested):
+            return value
+        return nested.from_dict(value)
+    allowed = _FIELD_TYPES.get(declared)
+    if allowed is None:  # unannotated / exotic field: accept as-is
+        return value
+    if isinstance(value, bool) and bool not in allowed:
+        # bool is an int subclass; reject it explicitly for numeric fields.
+        raise ValueError(f"{owner}.{spec.name}: expected {declared}, got {value!r}")
+    if not isinstance(value, allowed):
+        raise ValueError(f"{owner}.{spec.name}: expected {declared}, got {value!r}")
+    if declared.startswith("float") and value is not None:
+        return float(value)
+    return value
+
+
+# Populated at the end of the module (and extended by repro.runtime) so
+# _coerce_field can resolve nested config fields by their annotation string.
+_NESTED_CONFIGS: Dict[str, type] = {}
 
 
 @dataclass(frozen=True)
-class StreamProtocol:
+class StreamProtocol(ConfigBase):
     """Segmentation protocol of the live stream (Section IV-A)."""
 
     frame_rate: int = 25
@@ -38,12 +144,9 @@ class StreamProtocol:
             return 0
         return 1 + (frames - self.segment_frames) // self.stride_frames
 
-    def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
-
 
 @dataclass(frozen=True)
-class ModelConfig:
+class ModelConfig(ConfigBase):
     """Dimensions of the CLSTM model and its feature inputs."""
 
     action_dim: int = 400
@@ -58,9 +161,6 @@ class ModelConfig:
     interaction_hidden: int = 32
     """Hidden size h2 of LSTM_A."""
 
-    def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
-
     def scaled(self, factor: float) -> "ModelConfig":
         """Return a proportionally smaller configuration (used by fast tests)."""
         if factor <= 0:
@@ -74,7 +174,7 @@ class ModelConfig:
 
 
 @dataclass(frozen=True)
-class TrainingConfig:
+class TrainingConfig(ConfigBase):
     """CLSTM training hyper-parameters (Section IV-B3 and VI-A)."""
 
     learning_rate: float = 0.001
@@ -130,12 +230,9 @@ class TrainingConfig:
                 f"unknown action_loss '{self.action_loss}'; options: {sorted(ACTION_LOSSES)}"
             )
 
-    def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
-
 
 @dataclass(frozen=True)
-class DetectionConfig:
+class DetectionConfig(ConfigBase):
     """Anomaly identification and ADOS filtering parameters (Sections IV-C, V)."""
 
     omega: float = 0.8
@@ -169,12 +266,9 @@ class DetectionConfig:
         if not 0.0 <= self.omega <= 1.0:
             raise ValueError(f"omega must be in [0, 1], got {self.omega}")
 
-    def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
-
 
 @dataclass(frozen=True)
-class ServingConfig:
+class ServingConfig(ConfigBase):
     """Online serving-runtime parameters (sharded micro-batching scorer)."""
 
     max_batch_size: int = 64
@@ -199,12 +293,9 @@ class ServingConfig:
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {self.num_shards}")
 
-    def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
-
 
 @dataclass(frozen=True)
-class UpdateConfig:
+class UpdateConfig(ConfigBase):
     """Dynamic model-update parameters (Section IV-D)."""
 
     buffer_size: int = 300
@@ -223,8 +314,16 @@ class UpdateConfig:
     merge_weight: float = 0.5
     """Interpolation weight applied to the new model when merging with the old."""
 
-    def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
-
 
 __all__ += ["ServingConfig", "UpdateConfig"]
+
+_NESTED_CONFIGS.update(
+    {
+        "StreamProtocol": StreamProtocol,
+        "ModelConfig": ModelConfig,
+        "TrainingConfig": TrainingConfig,
+        "DetectionConfig": DetectionConfig,
+        "ServingConfig": ServingConfig,
+        "UpdateConfig": UpdateConfig,
+    }
+)

@@ -1,0 +1,116 @@
+"""Public-API snapshot tests.
+
+``repro.__all__`` and ``repro.runtime.__all__`` are asserted against
+checked-in lists, so any drift of the public surface — a renamed class, a
+removed re-export, an accidental addition — fails loudly in CI and forces a
+deliberate update of this file (which is exactly the review point an API
+change deserves).
+"""
+
+from __future__ import annotations
+
+import repro
+import repro.runtime
+import repro.serving
+
+# The public surface of the top-level package.  Keep sorted; a change here is
+# an API change and should be called out in the changelog/README.
+EXPECTED_REPRO_ALL = sorted(
+    [
+        "AOVLIS",
+        "ADOSFilter",
+        "AnomalyDetector",
+        "CLSTM",
+        "CLSTMSingleCouplingDetector",
+        "CLSTMTrainer",
+        "DetectionConfig",
+        "DetectionResult",
+        "ExperimentHarness",
+        "ExperimentScale",
+        "FeaturePipeline",
+        "FilteredDetector",
+        "IncrementalUpdater",
+        "LSTMOnlyDetector",
+        "LTRDetector",
+        "MicroBatcher",
+        "ModelConfig",
+        "ModelRegistry",
+        "ModelSnapshot",
+        "RTFMDetector",
+        "Runtime",
+        "RuntimeConfig",
+        "ScoredStream",
+        "ScoringService",
+        "ServingConfig",
+        "ShardedScoringService",
+        "SimulatedI3DExtractor",
+        "SocialStreamGenerator",
+        "SocialVideoStream",
+        "StreamAnomalyDetector",
+        "StreamDetection",
+        "StreamFeatures",
+        "StreamProfile",
+        "StreamProtocol",
+        "TrainingConfig",
+        "UpdateConfig",
+        "UpdatePlane",
+        "VECDetector",
+        "all_detectors",
+        "auroc",
+        "dataset_profile",
+        "load_all_datasets",
+        "load_dataset",
+        "reia_score",
+        "replay_streams",
+        "roc_curve",
+        "__version__",
+    ]
+)
+
+EXPECTED_RUNTIME_ALL = sorted(["CHECKPOINT_FORMAT", "Runtime", "RuntimeConfig"])
+
+EXPECTED_SERVING_ALL = sorted(
+    [
+        "ManualClock",
+        "MicroBatcher",
+        "ModelRegistry",
+        "ModelSnapshot",
+        "RegistryHandle",
+        "ScoreRequest",
+        "ScoringService",
+        "ServiceStats",
+        "ShardedScoringService",
+        "StreamDetection",
+        "StreamSession",
+        "UpdatePlane",
+        "UpdateReport",
+        "UpdateTrigger",
+        "default_router",
+        "replay_streams",
+    ]
+)
+
+
+def test_repro_all_matches_snapshot():
+    assert sorted(repro.__all__) == EXPECTED_REPRO_ALL
+
+
+def test_runtime_all_matches_snapshot():
+    assert sorted(repro.runtime.__all__) == EXPECTED_RUNTIME_ALL
+
+
+def test_serving_all_matches_snapshot():
+    assert sorted(repro.serving.__all__) == EXPECTED_SERVING_ALL
+
+
+def test_every_exported_name_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, f"repro.{name} is not importable"
+    for name in repro.runtime.__all__:
+        assert getattr(repro.runtime, name, None) is not None
+    for name in repro.serving.__all__:
+        assert getattr(repro.serving, name, None) is not None
+
+
+def test_no_duplicate_exports():
+    assert len(repro.__all__) == len(set(repro.__all__))

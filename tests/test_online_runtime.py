@@ -181,6 +181,54 @@ class TestModelRegistry:
             ModelRegistry.from_detector(uncalibrated)
 
 
+class TestRegistryRestoreAndEviction:
+    def test_retained_always_contains_latest_with_max_versions_one(self):
+        """Regression: a checkpoint enumerating the registry mid-update must
+        see the just-published latest, even under the tightest eviction."""
+        registry = ModelRegistry(DetectionConfig(omega=0.8), max_versions=1)
+        for seed in range(3):
+            snapshot = registry.publish(make_model(seed=seed), 0.2)
+            retained = registry.retained()
+            assert [kept.version for kept in retained] == [snapshot.version]
+            assert retained[0] is registry.latest()
+        assert registry.highest_published == 3
+
+    def test_pinned_evicted_snapshot_stays_usable_but_not_enumerable(self):
+        registry = ModelRegistry(DetectionConfig(omega=0.8), max_versions=1)
+        registry.publish(make_model(seed=1), 0.2)
+        handle = registry.handle()
+        pinned = handle.pin()
+        registry.publish(make_model(seed=2), 0.3)
+        # The reader keeps scoring against its pinned (now evicted) snapshot...
+        assert handle.pinned is pinned
+        assert pinned.fused_fresh()
+        # ...but a checkpoint walking the registry never references it.
+        assert [kept.version for kept in registry.retained()] == [2]
+        with pytest.raises(KeyError, match="evicted"):
+            registry.get(1)
+
+    def test_restore_preserves_version_numbers(self):
+        registry = ModelRegistry(DetectionConfig(omega=0.8))
+        restored = registry.restore(
+            3, make_model(seed=1), 0.2, reason="initial", metadata={"similarity": 0.5}
+        )
+        assert restored.version == 3
+        assert restored.fused_fresh()
+        assert registry.latest() is restored
+        assert registry.highest_published == 3
+        assert registry.restore(7, make_model(seed=2), 0.3).version == 7
+        # Future publishes continue after the restored pointer.
+        assert registry.publish(make_model(seed=3), 0.4).version == 8
+
+    def test_restore_rejects_non_ascending_versions(self):
+        registry = ModelRegistry(DetectionConfig(omega=0.8))
+        registry.restore(3, make_model(seed=1), 0.2)
+        with pytest.raises(ValueError, match="must exceed"):
+            registry.restore(3, make_model(seed=2), 0.3)
+        with pytest.raises(ValueError, match="must exceed"):
+            registry.restore(2, make_model(seed=2), 0.3)
+
+
 class TestRecalibrate:
     def test_recalibrate_rederives_threshold_from_data(self):
         model = make_model()

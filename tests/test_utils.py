@@ -10,6 +10,7 @@ import pytest
 from repro.utils import (
     DetectionConfig,
     ModelConfig,
+    ServingConfig,
     StreamProtocol,
     Stopwatch,
     TimingAccumulator,
@@ -85,6 +86,77 @@ class TestConfig:
         assert TrainingConfig(gradient_clip=0.0).gradient_clip == 0.0
         assert TrainingConfig(epochs=1, batch_size=1, checkpoint_every=1).epochs == 1
         assert TrainingConfig(action_loss="mse").action_loss == "mse"
+
+
+# Non-default instances of every config dataclass, for round-trip tests.
+ROUND_TRIP_CONFIGS = [
+    StreamProtocol(frame_rate=30, sequence_length=7),
+    ModelConfig(action_dim=100, interaction_hidden=16),
+    TrainingConfig(epochs=7, action_loss="kl", use_fused=False),
+    DetectionConfig(omega=0.6, threshold=0.5, sparse_groups=4),
+    ServingConfig(max_batch_size=8, max_batch_delay_ms=25.0, num_shards=3),
+    UpdateConfig(buffer_size=50, interaction_threshold=0.4),
+]
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize(
+        "config", ROUND_TRIP_CONFIGS, ids=lambda config: type(config).__name__
+    )
+    def test_dict_round_trip(self, config):
+        assert type(config).from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize(
+        "config", ROUND_TRIP_CONFIGS, ids=lambda config: type(config).__name__
+    )
+    def test_json_round_trip(self, config):
+        assert type(config).from_json(config.to_json()) == config
+
+    def test_json_round_trip_through_file(self, tmp_path):
+        config = ServingConfig(max_batch_size=8, num_shards=2)
+        path = tmp_path / "serving.json"
+        path.write_text(config.to_json(), encoding="utf-8")
+        assert ServingConfig.from_json(path) == config
+
+    def test_none_fields_round_trip(self):
+        config = DetectionConfig(threshold=None, top_k=None)
+        restored = DetectionConfig.from_dict(config.to_dict())
+        assert restored.threshold is None and restored.top_k is None
+
+    def test_unknown_field_named_in_error(self):
+        with pytest.raises(ValueError, match=r"UpdateConfig.*buffre_size"):
+            UpdateConfig.from_dict({"buffre_size": 10})
+
+    @pytest.mark.parametrize(
+        "cls, data, fragment",
+        [
+            (TrainingConfig, {"epochs": "ten"}, r"TrainingConfig\.epochs"),
+            (TrainingConfig, {"epochs": True}, r"TrainingConfig\.epochs"),
+            (ModelConfig, {"action_dim": 3.5}, r"ModelConfig\.action_dim"),
+            (ServingConfig, {"max_batch_delay_ms": "soon"}, r"ServingConfig\.max_batch_delay_ms"),
+            (DetectionConfig, {"omega": "high"}, r"DetectionConfig\.omega"),
+        ],
+    )
+    def test_wrong_type_names_the_field(self, cls, data, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            cls.from_dict(data)
+
+    def test_post_init_validation_still_applies(self):
+        with pytest.raises(ValueError, match="epochs"):
+            TrainingConfig.from_dict({"epochs": 0})
+
+    def test_int_promoted_to_float_fields(self):
+        config = ServingConfig.from_dict({"max_batch_delay_ms": 5})
+        assert config.max_batch_delay_ms == 5.0
+        assert isinstance(config.max_batch_delay_ms, float)
+
+    def test_invalid_json_text_rejected(self):
+        with pytest.raises(ValueError, match="invalid JSON"):
+            ServingConfig.from_json('{"max_batch_size": }')
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ValueError, match="expects a mapping"):
+            TrainingConfig.from_dict([("epochs", 3)])
 
 
 class TestRng:
