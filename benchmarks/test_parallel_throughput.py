@@ -1,0 +1,156 @@
+"""Parallel serving throughput — worker-thread shard fan-out vs serial shards.
+
+The fused shard forwards are BLAS-bound GEMM chains, and NumPy releases the
+GIL inside them, so batches of *different* shards can genuinely score in
+parallel on a worker-thread pool.  This gate drives the same BLAS-bound
+multi-shard workload through a :class:`~repro.serving.ShardedScoringService`
+twice — once with the :class:`~repro.serving.SerialExecutor` (the reference
+in-line path) and once with a :class:`~repro.serving.ParallelExecutor` at
+``WORKERS`` workers — and requires the parallel run to finish the whole
+replay at least ``REQUIRED_SPEEDUP``x faster in wall-clock time.
+
+The workload is built so that parallelism is actually available: each shard
+owns the same number of streams and the replay feeds one segment per stream
+per tick through ``submit_many``, so all shards' micro-batches fill on the
+same tick and become ready together.  Detections are also asserted identical
+between the two runs — batch compositions match exactly, so the fan-out may
+only change wall-clock time, never results.
+
+The gate needs real cores to demonstrate a wall-clock speedup and skips on
+machines with fewer than ``WORKERS`` CPUs (CI's throughput-gates job runs on
+multi-core runners).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import common
+from repro.core.clstm import CLSTM
+from repro.core.detector import AnomalyDetector
+from repro.serving import (
+    ModelRegistry,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardedScoringService,
+)
+from repro.utils.config import DetectionConfig, ModelConfig, ServingConfig
+
+WORKERS = 4
+SHARDS = 4
+STREAMS_PER_SHARD = 4
+SEGMENTS = 180
+SEQUENCE_LENGTH = 9
+MAX_BATCH_SIZE = 36  # STREAMS_PER_SHARD divides it: all shards fill together
+REQUIRED_SPEEDUP = 2.0
+
+# BLAS-bound scale: per timestep each batch multiplies (B, d+h) blocks into
+# (*, 4h) gate matrices — large enough that the GEMMs, not the Python glue,
+# dominate a batch, which is exactly the regime the GIL release pays off in.
+MODEL = ModelConfig(
+    action_dim=400, interaction_dim=32, action_hidden=192, interaction_hidden=48
+)
+
+
+def _registry() -> ModelRegistry:
+    model = CLSTM.from_config(MODEL, seed=7)
+    detector = AnomalyDetector(model, DetectionConfig(omega=0.8, threshold=1.0))
+    return ModelRegistry.from_detector(detector)
+
+
+def _streams():
+    """``SHARDS * STREAMS_PER_SHARD`` synthetic feature streams, keyed by shard."""
+    rng = np.random.default_rng(11)
+    streams = {}
+    for shard in range(SHARDS):
+        for index in range(STREAMS_PER_SHARD):
+            action = rng.random((SEGMENTS, MODEL.action_dim)) + 1e-3
+            action /= action.sum(axis=1, keepdims=True)
+            interaction = rng.random((SEGMENTS, MODEL.interaction_dim))
+            streams[f"shard{shard}-stream{index}"] = (action, interaction)
+    return streams
+
+
+def _replay(registry: ModelRegistry, executor, streams) -> tuple:
+    """Drive the full workload; return (wall_seconds, detections)."""
+    service = ShardedScoringService(
+        registry,
+        config=ServingConfig(max_batch_size=MAX_BATCH_SIZE, num_shards=SHARDS),
+        sequence_length=SEQUENCE_LENGTH,
+        router=lambda stream_id: int(stream_id.split("-")[0][len("shard"):]),
+        executor=executor,
+    )
+    started = time.perf_counter()
+    for position in range(SEGMENTS):
+        detections_tick = service.submit_many(
+            (stream_id, action[position], interaction[position])
+            for stream_id, (action, interaction) in streams.items()
+        )
+        del detections_tick  # collected per stream below, in a stable order
+    service.drain()
+    elapsed = time.perf_counter() - started
+    detections = {
+        stream_id: list(service.detections(stream_id)) for stream_id in streams
+    }
+    service.close()
+    return elapsed, detections
+
+
+def run_experiment():
+    registry = _registry()
+    streams = _streams()
+    expected_per_stream = SEGMENTS - SEQUENCE_LENGTH
+
+    serial_seconds, serial_detections = _replay(registry, SerialExecutor(), streams)
+    parallel_seconds, parallel_detections = _replay(
+        registry, ParallelExecutor(workers=WORKERS), streams
+    )
+    speedup = serial_seconds / parallel_seconds
+
+    total = len(streams) * expected_per_stream
+    common.table(
+        "parallel_serving_throughput",
+        ["executor", "wall s", "segments/s"],
+        [
+            ["serial shards", f"{serial_seconds:.2f}", f"{total / serial_seconds:.0f}"],
+            [
+                f"parallel ({WORKERS} workers)",
+                f"{parallel_seconds:.2f}",
+                f"{total / parallel_seconds:.0f}",
+            ],
+            ["speed-up", f"{speedup:.2f}x", ""],
+        ],
+        title=(
+            f"Thread-parallel serving — {SHARDS} shards, {len(streams)} streams, "
+            f"{total} segments, batch {MAX_BATCH_SIZE}"
+        ),
+    )
+    return {
+        "expected_per_stream": expected_per_stream,
+        "serial_detections": serial_detections,
+        "parallel_detections": parallel_detections,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+    }
+
+
+def test_parallel_serving_throughput(benchmark):
+    cores = os.cpu_count() or 1
+    if cores < WORKERS:
+        pytest.skip(
+            f"wall-clock speedup needs >= {WORKERS} cores, machine has {cores}"
+        )
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for stream_id, ours in results["parallel_detections"].items():
+        reference = results["serial_detections"][stream_id]
+        assert len(ours) == len(reference) == results["expected_per_stream"]
+        assert ours == reference, f"parallel run diverged on {stream_id}"
+    assert results["speedup"] >= REQUIRED_SPEEDUP, (
+        f"parallel executor reached only {results['speedup']:.2f}x over serial "
+        f"sharded scoring at {WORKERS} workers (required: {REQUIRED_SPEEDUP}x)"
+    )

@@ -19,6 +19,11 @@ the whole loop is declarative:
    ``Runtime.from_checkpoint()`` resumes it — the crash-recovery path, with
    bitwise-identical detections on the replayed tail.
 
+The deployment below also opts into the thread-parallel executor
+(``ExecutorConfig(mode="parallel")``): ready shard batches are fanned out to
+a worker pool whose fused forwards release the GIL, and the per-shard load
+statistics printed at the end are the signal a rebalancer would consume.
+
 For wiring the registry / update plane / sharded service by hand (custom
 routers, one registry per shard), see ``examples/multi_stream_serving.py``.
 
@@ -36,6 +41,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
+    ExecutorConfig,
     FeaturePipeline,
     ModelConfig,
     Runtime,
@@ -86,6 +92,10 @@ def main() -> None:
         training=TrainingConfig(epochs=10, batch_size=32, checkpoint_every=5, seed=7),
         serving=ServingConfig(num_shards=2, max_batch_size=32, max_batch_delay_ms=80.0),
         update=UpdateConfig(buffer_size=120, drift_threshold=0.9995, update_epochs=8),
+        # Thread-parallel shard scoring; workers=2 matches num_shards.  With
+        # one ingest thread and synchronous updates this is still fully
+        # deterministic — and workers=1 would be bitwise-identical to serial.
+        executor=ExecutorConfig(mode="parallel", workers=2),
         sequence_length=9,
     )
 
@@ -136,6 +146,12 @@ def main() -> None:
         print("  (no drift detected — try a stronger rotation in inject_drift)")
 
     print(f"\nShard model versions: {dict(runtime.service.model_versions())}")
+    for shard in runtime.load_stats():
+        print(
+            f"  shard {shard.shard_index}: {shard.streams} streams, "
+            f"queue depth {shard.queue_depth}, occupancy {shard.batch_occupancy:.2f}, "
+            f"{shard.mean_batch_latency_ms:.1f} ms/batch"
+        )
     for stream_id in streams:
         routed = runtime.detections(stream_id)
         by_version: dict[int, int] = {}
@@ -160,6 +176,8 @@ def main() -> None:
             f"(T_a = {restored.anomaly_threshold:.4f}); sessions, drift monitor "
             f"and queued requests resume exactly where the original stopped."
         )
+        restored.close()
+    runtime.close()  # drains queues and shuts the executor pool down
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ optimisation, literature baselines and the full evaluation harness.
 
 Quick start (the unified runtime; see :mod:`repro.runtime`)::
 
-    from repro import FeaturePipeline, Runtime, RuntimeConfig, load_dataset
+    from repro import FeaturePipeline, ModelConfig, Runtime, RuntimeConfig, load_dataset
 
     spec = load_dataset("INF")
     pipeline = FeaturePipeline(action_dim=100, motion_channels=spec.profile.motion_channels)
@@ -53,10 +53,13 @@ from .streams import (
 from .baselines import LTRDetector, RTFMDetector, VECDetector, all_detectors
 from .optimization import FilteredDetector, ADOSFilter
 from .serving import (
+    BackgroundUpdatePlane,
     MicroBatcher,
     ModelRegistry,
     ModelSnapshot,
+    ParallelExecutor,
     ScoringService,
+    SerialExecutor,
     ShardedScoringService,
     StreamDetection,
     UpdatePlane,
@@ -66,6 +69,7 @@ from .evaluation import ExperimentHarness, ExperimentScale, auroc, roc_curve
 from .runtime import Runtime, RuntimeConfig
 from .utils import (
     DetectionConfig,
+    ExecutorConfig,
     ModelConfig,
     ServingConfig,
     StreamProtocol,
@@ -102,10 +106,13 @@ __all__ = [
     "all_detectors",
     "FilteredDetector",
     "ADOSFilter",
+    "BackgroundUpdatePlane",
     "MicroBatcher",
     "ModelRegistry",
     "ModelSnapshot",
+    "ParallelExecutor",
     "ScoringService",
+    "SerialExecutor",
     "ShardedScoringService",
     "StreamDetection",
     "UpdatePlane",
@@ -117,6 +124,7 @@ __all__ = [
     "auroc",
     "roc_curve",
     "DetectionConfig",
+    "ExecutorConfig",
     "ModelConfig",
     "ServingConfig",
     "StreamProtocol",

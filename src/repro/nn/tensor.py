@@ -17,6 +17,7 @@ the graph and runs the closures in reverse order.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -26,31 +27,38 @@ ArrayLike = Union[np.ndarray, float, int, Sequence[float], "Tensor"]
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 
-_GRAD_ENABLED = True
+# Grad mode is tracked per thread.  A process-wide flag would make concurrent
+# inference unsound: the parallel serving executor scores shards on worker
+# threads, each entering `no_grad` around its decoder forward, while a
+# background update plane may be training on the maintenance thread at the
+# same time.  With one global flag, overlapping __enter__/__exit__ pairs from
+# different threads can restore a stale value and leave gradients disabled (or
+# enabled) for everyone — with a thread-local, each thread owns its own mode.
+_GRAD_MODE = threading.local()
 
 
 class no_grad:
-    """Context manager that disables gradient tracking.
+    """Context manager that disables gradient tracking on the current thread.
 
     Mirrors ``torch.no_grad``: operations executed inside the block create
     tensors detached from the autograd graph, which keeps inference (anomaly
-    scoring over streams) cheap.
+    scoring over streams) cheap.  The mode is thread-local, so a serving
+    worker scoring under ``no_grad`` never disables the tape for a training
+    thread running concurrently.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_MODE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new operations are recorded on the autograd tape."""
-    return _GRAD_ENABLED
+    """Whether new operations are recorded on this thread's autograd tape."""
+    return getattr(_GRAD_MODE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:

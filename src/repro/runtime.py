@@ -45,11 +45,13 @@ from .core.detector import AnomalyDetector
 from .core.training import CLSTMTrainer, TrainingHistory
 from .features.pipeline import StreamFeatures
 from .nn.serialization import load_state, save_module, save_state
+from .serving.executor import build_executor
 from .serving.maintenance import UpdateReport
 from .serving.registry import ModelRegistry
 from .serving.service import (
     ManualClock,
     ServiceStats,
+    ShardStats,
     StreamDetection,
     UpdateTrigger,
     replay_streams,
@@ -59,6 +61,7 @@ from .utils.config import (
     _NESTED_CONFIGS,
     ConfigBase,
     DetectionConfig,
+    ExecutorConfig,
     ModelConfig,
     ServingConfig,
     TrainingConfig,
@@ -93,6 +96,12 @@ class RuntimeConfig(ConfigBase):
     detection: DetectionConfig = DetectionConfig()
     serving: ServingConfig = ServingConfig()
     update: UpdateConfig = UpdateConfig()
+
+    executor: ExecutorConfig = ExecutorConfig()
+    """Execution strategy: serial in-line scoring (default), or a
+    worker-thread pool for shard batches (``mode="parallel"``) with optional
+    off-thread retrains (``background_updates=True``).  ``mode="auto"``
+    resolves through the ``REPRO_EXECUTOR`` environment variable."""
 
     sequence_length: int = 9
     """History length q of the CLSTM input sequences."""
@@ -245,6 +254,8 @@ class Runtime:
             historical_hidden=historical_hidden,
             max_history=config.max_history,
             clock=self._clock,
+            executor=build_executor(config.executor),
+            background_updates=config.executor.background_updates and config.enable_updates,
         )
 
     # ------------------------------------------------------------------ #
@@ -268,15 +279,32 @@ class Runtime:
             stream_id, action_feature, interaction_feature, interaction_level
         )
 
+    def ingest_many(self, submissions) -> List[StreamDetection]:
+        """Feed one tick of segments from many streams, then score once.
+
+        ``submissions`` is an iterable of ``(stream_id, action_feature,
+        interaction_feature[, interaction_level])`` tuples.  Under a parallel
+        executor this is the high-throughput ingest path: batches that fill
+        on different shards in the same tick are scored concurrently.
+        """
+        self._require_serving()
+        return self.service.submit_many(submissions)
+
     def poll(self) -> List[StreamDetection]:
         """Flush micro-batches whose wall-clock deadline has passed."""
         self._require_serving()
         return self.service.poll()
 
     def drain(self) -> List[StreamDetection]:
-        """Score every queued request regardless of batch occupancy."""
+        """Score everything queued and wait for in-flight maintenance work.
+
+        Deadline-expired batches flush first (with the boundaries a running
+        service would have given them), then every remaining under-filled
+        batch; background retrains the final batches trigger are awaited, so
+        after ``drain()`` the runtime is fully idle.
+        """
         self._require_serving()
-        return self.service.flush()
+        return self.service.drain()
 
     def replay(
         self,
@@ -307,16 +335,18 @@ class Runtime:
         return self.service.detections(stream_id)
 
     def close(self) -> List[StreamDetection]:
-        """Drain outstanding work and stop accepting traffic.
+        """Drain outstanding work, stop threads, stop accepting traffic.
 
-        Returns the final flush's detections.  Idempotent; a closed runtime
-        can still be inspected and checkpointed, but not fed.
+        Returns the final drain's detections.  Shuts the executor pool and
+        any maintenance threads down.  Idempotent; a closed runtime can
+        still be inspected and checkpointed, but not fed.
         """
         if self._closed:
             return []
         final: List[StreamDetection] = []
         if self.fitted:
-            final = self.service.flush()
+            final = self.service.drain()
+            self.service.close()
         self._closed = True
         return final
 
@@ -358,6 +388,11 @@ class Runtime:
         self._require_serving_built()
         return self.service.stats
 
+    def load_stats(self) -> List[ShardStats]:
+        """One consistent per-shard load sample (queue depth, occupancy...)."""
+        self._require_serving_built()
+        return self.service.load_stats()
+
     @property
     def update_triggers(self) -> List[UpdateTrigger]:
         """Every drift trigger emitted since fit/restore."""
@@ -392,9 +427,15 @@ class Runtime:
         leave a readable-but-inconsistent mix of old and new files — a crash
         leaves either the previous checkpoint or, in the narrow window
         between the two renames, no checkpoint (which fails loudly).
+
+        In-flight maintenance work is drained first: the service quiesces
+        any background update planes before state is exported, so the
+        persisted version lineage never has a retrain still in the air.
+        Queued-but-unscored requests stay queued and are persisted as such.
         """
         self._require_fitted()
         self._require_serving_built()
+        self.service.quiesce()
         target = Path(path)
         directory = target.parent / f".{target.name}.staging"
         if directory.exists():
@@ -402,7 +443,14 @@ class Runtime:
         directory.mkdir(parents=True)
 
         versions: List[Dict[str, Any]] = []
-        for snapshot in self.registry.retained():
+        # One consistent registry cut: both the weight files and the
+        # manifest's version pointer derive from this single locked
+        # enumeration.  Reading highest_published separately would race a
+        # concurrent publish (parallel shard, background plane) landing
+        # between the two reads and produce a manifest whose pointer exceeds
+        # the saved weights — a checkpoint from_checkpoint() must reject.
+        retained = self.registry.retained()
+        for snapshot in retained:
             filename = f"version_{snapshot.version:06d}.npz"
             save_module(
                 snapshot.model,
@@ -431,7 +479,9 @@ class Runtime:
         manifest = {
             "format": CHECKPOINT_FORMAT,
             "config": self.config.to_dict(),
-            "published": self.registry.highest_published,
+            # Eviction always keeps the just-published latest, so the highest
+            # retained version IS the version pointer of this registry cut.
+            "published": versions[-1]["version"],
             "versions": versions,
         }
         (directory / _MANIFEST_FILE).write_text(

@@ -15,9 +15,20 @@ runtime:
   the buffered presumed-normal segments, merges, re-calibrates ``T_a`` and
   publishes the new version;
 * the :class:`ShardedScoringService` routes streams across N shards (one
-  registry handle + one batcher each) for multi-model deployments.
+  registry handle + one batcher each) for multi-model deployments;
+* execution is pluggable: the :class:`ParallelExecutor` fans ready shard
+  batches out to a worker-thread pool (NumPy's BLAS kernels release the GIL)
+  and the :class:`BackgroundUpdatePlane` moves retrains onto a maintenance
+  thread, while the default :class:`SerialExecutor` stays bit-for-bit
+  identical to the single-threaded runtime.
 """
 
+from .executor import (
+    BackgroundUpdatePlane,
+    ParallelExecutor,
+    SerialExecutor,
+    build_executor,
+)
 from .maintenance import UpdatePlane, UpdateReport
 from .microbatch import MicroBatcher, ScoreRequest
 from .registry import ModelRegistry, ModelSnapshot, RegistryHandle
@@ -25,6 +36,7 @@ from .service import (
     ManualClock,
     ScoringService,
     ServiceStats,
+    ShardStats,
     StreamDetection,
     StreamSession,
     UpdateTrigger,
@@ -33,20 +45,25 @@ from .service import (
 from .sharding import ShardedScoringService, default_router
 
 __all__ = [
+    "BackgroundUpdatePlane",
     "ManualClock",
     "MicroBatcher",
     "ModelRegistry",
     "ModelSnapshot",
+    "ParallelExecutor",
     "RegistryHandle",
     "ScoreRequest",
     "ScoringService",
+    "SerialExecutor",
     "ServiceStats",
+    "ShardStats",
     "ShardedScoringService",
     "StreamDetection",
     "StreamSession",
     "UpdatePlane",
     "UpdateReport",
     "UpdateTrigger",
+    "build_executor",
     "default_router",
     "replay_streams",
 ]

@@ -27,6 +27,7 @@ presumed-normal sample buffer and
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -69,6 +70,17 @@ class UpdateReport:
 class UpdatePlane:
     """Consumes drift triggers and publishes merged model versions.
 
+    Thread-safety contract: :meth:`handle_trigger` runs the whole update
+    transaction under one plane-level lock, so two shards sharing this plane
+    (the shared-registry deployment, where each shard has its own drift
+    monitor) can trigger concurrently from worker threads and still produce
+    a serialised version lineage with deterministic per-update RNG seeds —
+    the second trigger trains against the version the first one published.
+    The registry's own lock makes the final publish atomic either way.  The
+    transaction runs on the *calling* thread (the scoring path); wrap the
+    plane in a :class:`~repro.serving.executor.BackgroundUpdatePlane` to move
+    it onto a maintenance thread instead.
+
     Parameters
     ----------
     registry:
@@ -100,6 +112,8 @@ class UpdatePlane:
         self.reports: List[UpdateReport] = []
         self.total_update_seconds = 0.0
         self._restored_updates = 0
+        # Serialises whole update transactions; see the class docstring.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -134,43 +148,63 @@ class UpdatePlane:
     def handle_trigger(
         self, trigger: UpdateTrigger, samples: Sequence[ScoreRequest]
     ) -> UpdateReport:
-        """Run one full update: train on ``samples``, merge, re-calibrate, publish."""
-        batch = self.assemble_samples(samples)
-        base = self.registry.latest()
-        stopwatch = Stopwatch().start()
+        """Run one full update: train on ``samples``, merge, re-calibrate, publish.
 
-        new_model = train_incremental(
-            base.model, batch, self.training_config, seed=self.updates_performed + 1
-        )
-        merged = merge_models(base.model, new_model, new_weight=self.update_config.merge_weight)
-        threshold = self._recalibrate(base, merged, batch)
+        The transaction is atomic with respect to other triggers on this
+        plane (plane lock) and other publishers of the registry (registry
+        lock): read latest → train → merge → re-calibrate → publish next
+        version.
+        """
+        with self._lock:
+            batch = self.assemble_samples(samples)
+            base = self.registry.latest()
+            stopwatch = Stopwatch().start()
 
-        snapshot = self.registry.publish(
-            merged,
-            threshold,
-            reason="incremental-update",
-            metadata={
-                "similarity": trigger.similarity,
-                "trigger_segment": float(trigger.segment_index),
-                "samples": float(len(samples)),
-            },
-            # merge_models already built a private model; adopting it avoids
-            # one more full parameter copy per swap.
-            copy=False,
-        )
-        elapsed = stopwatch.stop()
-        report = UpdateReport(
-            version=snapshot.version,
-            previous_version=base.version,
-            trigger=trigger,
-            samples=len(samples),
-            previous_threshold=base.threshold,
-            threshold=threshold,
-            seconds=elapsed,
-        )
-        self.reports.append(report)
-        self.total_update_seconds += elapsed
-        return report
+            new_model = train_incremental(
+                base.model, batch, self.training_config, seed=self.updates_performed + 1
+            )
+            merged = merge_models(
+                base.model, new_model, new_weight=self.update_config.merge_weight
+            )
+            threshold = self._recalibrate(base, merged, batch)
+
+            snapshot = self.registry.publish(
+                merged,
+                threshold,
+                reason="incremental-update",
+                metadata={
+                    "similarity": trigger.similarity,
+                    "trigger_segment": float(trigger.segment_index),
+                    "samples": float(len(samples)),
+                },
+                # merge_models already built a private model; adopting it avoids
+                # one more full parameter copy per swap.
+                copy=False,
+            )
+            elapsed = stopwatch.stop()
+            report = UpdateReport(
+                version=snapshot.version,
+                previous_version=base.version,
+                trigger=trigger,
+                samples=len(samples),
+                previous_threshold=base.threshold,
+                threshold=threshold,
+                seconds=elapsed,
+            )
+            self.reports.append(report)
+            self.total_update_seconds += elapsed
+            return report
+
+    def quiesce(self) -> None:
+        """Synchronous planes have no in-flight work; uniform no-op.
+
+        Exists so the sharded service and the runtime facade can quiesce any
+        plane — this one or a :class:`~repro.serving.executor.
+        BackgroundUpdatePlane` — without caring which they hold.
+        """
+
+    def close(self) -> None:
+        """Synchronous planes hold no thread to stop; uniform no-op."""
 
     # ------------------------------------------------------------------ #
     def _recalibrate(self, base: ModelSnapshot, merged, batch: SequenceBatch) -> float:

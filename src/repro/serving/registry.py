@@ -25,6 +25,7 @@ The registry removes both hazards with copy-on-write publishing:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
@@ -75,6 +76,23 @@ class ModelSnapshot:
 class ModelRegistry:
     """Append-only store of :class:`ModelSnapshot` versions.
 
+    Thread-safety contract
+    ----------------------
+    The registry is fully thread-safe: every publish/evict and every read of
+    the version table or the latest pointer happens under one internal
+    re-entrant lock, so concurrent publishers (two shards' update planes, a
+    background maintenance thread) are serialised into a coherent,
+    monotonically numbered lineage and a reader can never observe a
+    partially-inserted version.
+
+    Memory visibility: a snapshot is fully constructed — private parameter
+    copies made, fused caches prewarmed, detector bound — *before* the locked
+    pointer swap, and readers pin under the same lock.  In CPython the lock
+    acquire/release pairs are full memory barriers, so a pinned
+    :class:`ModelSnapshot` and everything reachable from it is completely
+    visible to the pinning thread; snapshots are immutable by contract after
+    publish, so no further synchronisation is needed to *use* one.
+
     Parameters
     ----------
     detection_config:
@@ -106,6 +124,9 @@ class ModelRegistry:
             raise ValueError("max_versions must be positive when set")
         self.detection_config = config
         self.max_versions = max_versions
+        # One re-entrant lock serialises publishes and guards every read of
+        # the version table; see the class docstring for the full contract.
+        self._lock = threading.RLock()
         self._snapshots: Dict[int, ModelSnapshot] = {}
         self._published = 0
         self._latest: Optional[ModelSnapshot] = None
@@ -129,10 +150,14 @@ class ModelRegistry:
         keep training or merging the original.  ``copy=False`` adopts the
         instance directly (the caller then promises never to mutate it);
         its caches are still prewarmed here.
+
+        Safe to call from any thread: concurrent publishes are serialised by
+        the registry lock and receive consecutive version numbers.
         """
-        return self._insert(
-            self._published + 1, model, threshold, reason=reason, metadata=metadata, copy=copy
-        )
+        with self._lock:
+            return self._insert(
+                self._published + 1, model, threshold, reason=reason, metadata=metadata, copy=copy
+            )
 
     def restore(
         self,
@@ -153,12 +178,15 @@ class ModelRegistry:
         prewarmed, exactly like ``publish(copy=False)``.
         """
         version = int(version)
-        if version <= self._published:
-            raise ValueError(
-                f"restore version {version} must exceed the highest version "
-                f"ever published ({self._published})"
+        with self._lock:
+            if version <= self._published:
+                raise ValueError(
+                    f"restore version {version} must exceed the highest version "
+                    f"ever published ({self._published})"
+                )
+            return self._insert(
+                version, model, threshold, reason=reason, metadata=metadata, copy=False
             )
-        return self._insert(version, model, threshold, reason=reason, metadata=metadata, copy=False)
 
     def _insert(
         self,
@@ -173,36 +201,38 @@ class ModelRegistry:
         threshold = float(threshold)
         if not np.isfinite(threshold):
             raise ValueError(f"threshold must be finite, got {threshold}")
-        if copy:
-            published = model.snapshot()
-        else:
-            published = model
-            published.prewarm_fused()
-        detector = AnomalyDetector(published, self.detection_config, threshold=threshold)
-        self._published = version
-        snapshot = ModelSnapshot(
-            version=version,
-            model=published,
-            threshold=threshold,
-            detector=detector,
-            reason=reason,
-            metadata=dict(metadata) if metadata else {},
-        )
-        self._snapshots[snapshot.version] = snapshot
-        # The swap: one atomic pointer move.  Pinned readers are unaffected.
-        self._latest = snapshot
-        if self.max_versions is not None:
-            while len(self._snapshots) > self.max_versions:
-                oldest = min(self._snapshots)
-                if oldest == snapshot.version:
-                    # Never evict the snapshot being published: with
-                    # max_versions=1 the latest version must stay reachable,
-                    # or a checkpoint taken mid-publish (e.g. inside an
-                    # update-trigger callback) would enumerate an empty or
-                    # stale registry.
-                    break
-                self._snapshots.pop(oldest)
-        return snapshot
+        with self._lock:
+            if copy:
+                published = model.snapshot()
+            else:
+                published = model
+                published.prewarm_fused()
+            detector = AnomalyDetector(published, self.detection_config, threshold=threshold)
+            self._published = version
+            snapshot = ModelSnapshot(
+                version=version,
+                model=published,
+                threshold=threshold,
+                detector=detector,
+                reason=reason,
+                metadata=dict(metadata) if metadata else {},
+            )
+            self._snapshots[snapshot.version] = snapshot
+            # The swap: one atomic pointer move, fully inside the lock, after
+            # the snapshot is completely built.  Pinned readers are unaffected.
+            self._latest = snapshot
+            if self.max_versions is not None:
+                while len(self._snapshots) > self.max_versions:
+                    oldest = min(self._snapshots)
+                    if oldest == snapshot.version:
+                        # Never evict the snapshot being published: with
+                        # max_versions=1 the latest version must stay reachable,
+                        # or a checkpoint taken mid-publish (e.g. inside an
+                        # update-trigger callback) would enumerate an empty or
+                        # stale registry.
+                        break
+                    self._snapshots.pop(oldest)
+            return snapshot
 
     @classmethod
     def from_detector(
@@ -241,23 +271,26 @@ class ModelRegistry:
     # ------------------------------------------------------------------ #
     def latest(self) -> ModelSnapshot:
         """The currently published snapshot."""
-        if self._latest is None:
-            raise LookupError("registry is empty; publish a model first")
-        return self._latest
+        with self._lock:
+            if self._latest is None:
+                raise LookupError("registry is empty; publish a model first")
+            return self._latest
 
     def get(self, version: int) -> ModelSnapshot:
         """The snapshot of a specific version.
 
         Old versions stay readable until evicted by ``max_versions``.
         """
-        try:
-            return self._snapshots[version]
-        except KeyError:
-            raise KeyError(f"unknown (or evicted) model version {version}") from None
+        with self._lock:
+            try:
+                return self._snapshots[version]
+            except KeyError:
+                raise KeyError(f"unknown (or evicted) model version {version}") from None
 
     def versions(self) -> List[int]:
         """All retained version numbers, ascending."""
-        return sorted(self._snapshots)
+        with self._lock:
+            return sorted(self._snapshots)
 
     def retained(self) -> List[ModelSnapshot]:
         """All retained snapshots in ascending version order.
@@ -265,17 +298,22 @@ class ModelRegistry:
         This is the consistent enumeration the checkpoint path walks: it can
         never surface an evicted version, and — because eviction in
         :meth:`publish` keeps the just-published latest — it always contains
-        :meth:`latest`, even with ``max_versions=1`` mid-update.
+        :meth:`latest`, even with ``max_versions=1`` mid-update.  Taken as one
+        locked read, so a concurrent publish is either entirely in or
+        entirely out of the enumeration.
         """
-        return [self._snapshots[version] for version in sorted(self._snapshots)]
+        with self._lock:
+            return [self._snapshots[version] for version in sorted(self._snapshots)]
 
     @property
     def highest_published(self) -> int:
         """The highest version number ever handed out (0 before any publish)."""
-        return self._published
+        with self._lock:
+            return self._published
 
     def __len__(self) -> int:
-        return len(self._snapshots)
+        with self._lock:
+            return len(self._snapshots)
 
     def handle(self) -> "RegistryHandle":
         """A reader-side handle (one per serving shard)."""
@@ -289,7 +327,15 @@ class RegistryHandle:
     forward pass, and uses the returned snapshot for everything the batch
     needs (model, detector, threshold, version tag).  A publish that happens
     while the batch is being scored — e.g. the update plane running inside a
-    drift-trigger callback — is only observed by the *next* ``pin``.
+    drift-trigger callback, or a background maintenance thread — is only
+    observed by the *next* ``pin``.
+
+    Thread-safety contract: :meth:`pin` reads the latest pointer under the
+    registry lock, so it can never observe a half-published snapshot; the
+    handle's *own* fields (``pinned``, ``swaps_observed``) are deliberately
+    unsynchronised because a handle belongs to exactly one shard and every
+    pin happens under that shard's scoring lock.  Do not share one handle
+    between shards — take one :meth:`ModelRegistry.handle` per reader.
     """
 
     def __init__(self, registry: ModelRegistry) -> None:

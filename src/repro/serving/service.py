@@ -28,10 +28,22 @@ micro-batch, so every batch scores (forward pass, REIA combination and
 threshold decision) against exactly one immutable model version even if a
 swap lands mid-batch.  A wall-clock flush deadline (``max_batch_delay_ms``)
 bounds how long a queued segment can wait for its batch to fill.
+
+Thread-safety contract: the service is safe to drive from several threads
+at once.  Two locks split the hot path so ingest never waits behind a GEMM:
+a short *ingest lock* guards the session table and the micro-batch queue
+(held only for the deque/window bookkeeping of one segment), and a *scoring
+lock* serialises the batch pipeline — drain → pin → fused forward → route →
+drift monitor — so a shard scores exactly one batch at a time while other
+threads keep enqueuing.  The lock order is scoring → ingest; nothing ever
+takes them in the opposite order.  :meth:`try_score_ready` is the
+non-blocking entry the thread-parallel executor dispatches, and
+:meth:`enqueue` is the scoring-free half of :meth:`submit` it feeds from.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -53,6 +65,7 @@ __all__ = [
     "StreamDetection",
     "UpdateTrigger",
     "ServiceStats",
+    "ShardStats",
     "StreamSession",
     "ManualClock",
     "ScoringService",
@@ -66,6 +79,10 @@ class ManualClock:
     Production services default to ``time.monotonic``; tests, benchmarks and
     replay drivers inject a ``ManualClock`` and advance simulated time
     explicitly, which keeps deadline behaviour reproducible.
+
+    Reads are safe from any thread (a float rebind is atomic under the GIL);
+    :meth:`advance` should be driven by a single thread, as a replay driver
+    does — two drivers advancing one clock have no meaningful combined time.
     """
 
     def __init__(self, start: float = 0.0) -> None:
@@ -133,6 +150,52 @@ class ServiceStats:
     def mean_batch_size(self) -> float:
         return self.segments_scored / self.batches if self.batches else 0.0
 
+    def throughput(self) -> float:
+        """Scored segments per second of scoring time."""
+        if self.scoring_seconds <= 0.0:
+            return 0.0
+        return self.segments_scored / self.scoring_seconds
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One consistent load sample of one scoring shard.
+
+    Taken under the shard's locks by :meth:`ScoringService.load_stats`, so
+    the counters are mutually consistent even while worker threads score.
+    This is the signal a future rebalancer consumes: persistent queue depth
+    says a shard is oversubscribed, low batch occupancy says its stream
+    fan-in is too small for its batch size, and mean batch latency says how
+    expensive its model is per flush.
+    """
+
+    shard_index: int
+    streams: int
+    """Streams with a session routed to this shard."""
+
+    queue_depth: int
+    """Requests waiting in the micro-batcher right now."""
+
+    segments_scored: int
+    batches: int
+    scoring_seconds: float
+    max_batch_size: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.segments_scored / self.batches if self.batches else 0.0
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean fraction of batch capacity actually filled, in ``(0, 1]``."""
+        return self.mean_batch_size / self.max_batch_size if self.batches else 0.0
+
+    @property
+    def mean_batch_latency_ms(self) -> float:
+        """Mean scoring cost per flushed batch (milliseconds)."""
+        return 1e3 * self.scoring_seconds / self.batches if self.batches else 0.0
+
+    @property
     def throughput(self) -> float:
         """Scored segments per second of scoring time."""
         if self.scoring_seconds <= 0.0:
@@ -253,6 +316,12 @@ class ScoringService:
             raise ValueError("sequence_length must be positive")
         if max_history is not None and max_history < 1:
             raise ValueError("max_history must be positive when set")
+        # Lock order is always scoring → ingest (see the module docstring).
+        # The scoring lock serialises whole batch pipelines; the ingest lock
+        # is held only for per-segment queue/session bookkeeping, so ingest
+        # threads never block behind a fused forward.
+        self._score_lock = threading.RLock()
+        self._ingest_lock = threading.RLock()
         if (detector is None) == (registry is None):
             raise ValueError("pass exactly one of detector= or registry=")
         if registry is None:
@@ -340,20 +409,90 @@ class ScoringService:
     # ------------------------------------------------------------------ #
     def session(self, stream_id: str) -> StreamSession:
         """The (lazily created) session of ``stream_id``."""
-        if stream_id not in self.sessions:
-            self.sessions[stream_id] = StreamSession(stream_id, self.sequence_length)
-        return self.sessions[stream_id]
+        with self._ingest_lock:
+            if stream_id not in self.sessions:
+                self.sessions[stream_id] = StreamSession(stream_id, self.sequence_length)
+            return self.sessions[stream_id]
 
     def detections(self, stream_id: str) -> List[StreamDetection]:
         """All detections routed to ``stream_id`` so far."""
         return self.session(stream_id).detections
 
     def reset_stats(self) -> None:
-        self.stats = ServiceStats()
+        with self._score_lock:
+            self.stats = ServiceStats()
+
+    def load_stats(self, shard_index: int = 0) -> "ShardStats":
+        """One consistent :class:`ShardStats` sample of this service."""
+        with self._score_lock, self._ingest_lock:
+            return ShardStats(
+                shard_index=shard_index,
+                streams=len(self.sessions),
+                queue_depth=len(self.batcher),
+                segments_scored=self.stats.segments_scored,
+                batches=self.stats.batches,
+                scoring_seconds=self.stats.scoring_seconds,
+                max_batch_size=self.batcher.max_batch_size,
+            )
 
     # ------------------------------------------------------------------ #
     # Ingest
     # ------------------------------------------------------------------ #
+    def _enqueue(
+        self,
+        stream_id: str,
+        action_feature: np.ndarray,
+        interaction_feature: np.ndarray,
+        interaction_level: float,
+    ) -> Optional[float]:
+        """Window + queue one segment; return its arrival stamp (no scoring)."""
+        now = self._clock() if self.max_batch_delay_ms is not None else None
+        with self._ingest_lock:
+            request = self.session(stream_id).make_request(
+                action_feature, interaction_feature, float(interaction_level)
+            )
+            if request is not None:
+                self.batcher.submit(request, now=now)
+        return now
+
+    def enqueue(
+        self,
+        stream_id: str,
+        action_feature: np.ndarray,
+        interaction_feature: np.ndarray,
+        interaction_level: float = float("nan"),
+    ) -> None:
+        """Queue one segment without scoring anything.
+
+        The scoring-free half of :meth:`submit`, used by executor-driven
+        ingest: the sharded service enqueues on the caller's thread and fans
+        the resulting ready batches out to its worker pool.  Whoever calls
+        :meth:`try_score_ready` / :meth:`poll` / :meth:`flush` next scores
+        the queued work.
+        """
+        self._enqueue(stream_id, action_feature, interaction_feature, interaction_level)
+
+    def has_ready_work(self) -> bool:
+        """Whether a full or deadline-expired batch is waiting to be scored."""
+        with self._ingest_lock:
+            return self.batcher.ready() or self.batcher.expired(self._clock())
+
+    def _score_while_ready(self) -> List[StreamDetection]:
+        """Score batches while one is full or past its deadline.
+
+        Caller must hold the scoring lock.  The queue is re-checked under the
+        ingest lock before every drain, so requests enqueued by other threads
+        *during* a fused forward are picked up by the same loop.
+        """
+        produced: List[StreamDetection] = []
+        while True:
+            with self._ingest_lock:
+                flushable = self.batcher.ready() or self.batcher.expired(self._clock())
+                requests = self.batcher.drain() if flushable else []
+            if not requests:
+                return produced
+            produced.extend(self._score_requests(requests))
+
     def submit(
         self,
         stream_id: str,
@@ -367,18 +506,23 @@ class ScoringService:
         completed (usually empty — results for this very segment arrive with
         a later flush; this is the latency/throughput trade of micro-batching).
         """
-        request = self.session(stream_id).make_request(
-            action_feature, interaction_feature, float(interaction_level)
-        )
-        now = self._clock() if self.max_batch_delay_ms is not None else None
-        if request is not None:
-            self.batcher.submit(request, now=now)
-        produced: List[StreamDetection] = []
-        while self.batcher.ready():
-            produced.extend(self._score_requests(self.batcher.drain()))
-        if now is not None and self.batcher.expired(now):
-            produced.extend(self._score_requests(self.batcher.drain()))
-        return produced
+        with self._score_lock:
+            now = self._enqueue(
+                stream_id, action_feature, interaction_feature, interaction_level
+            )
+            produced: List[StreamDetection] = []
+            while True:
+                with self._ingest_lock:
+                    requests = self.batcher.drain() if self.batcher.ready() else []
+                if not requests:
+                    break
+                produced.extend(self._score_requests(requests))
+            if now is not None:
+                with self._ingest_lock:
+                    requests = self.batcher.drain() if self.batcher.expired(now) else []
+                if requests:
+                    produced.extend(self._score_requests(requests))
+            return produced
 
     def poll(self) -> List[StreamDetection]:
         """Flush batches whose wall-clock deadline has passed (and full ones).
@@ -386,17 +530,52 @@ class ScoringService:
         Drivers with a real event loop would run this on a timer; the
         synchronous replay drivers call it whenever simulated time advances.
         """
-        produced: List[StreamDetection] = []
-        while self.batcher.ready() or self.batcher.expired(self._clock()):
-            produced.extend(self._score_requests(self.batcher.drain()))
-        return produced
+        with self._score_lock:
+            return self._score_while_ready()
+
+    def try_score_ready(self) -> List[StreamDetection]:
+        """Non-blocking :meth:`poll`: score ready batches unless busy.
+
+        Returns immediately with ``[]`` when another thread already holds
+        the scoring lock — that thread's scoring loop re-checks the queue
+        after every batch, so the ready work this call observed is picked up
+        by it (or by the next poll/submit).  This is what keeps at most one
+        fused forward per shard in flight under the parallel executor.
+        """
+        if not self._score_lock.acquire(blocking=False):
+            return []
+        try:
+            return self._score_while_ready()
+        finally:
+            self._score_lock.release()
 
     def flush(self) -> List[StreamDetection]:
         """Score every queued request regardless of batch occupancy."""
-        produced: List[StreamDetection] = []
-        while len(self.batcher):
-            produced.extend(self._score_requests(self.batcher.drain()))
-        return produced
+        with self._score_lock:
+            produced: List[StreamDetection] = []
+            while True:
+                with self._ingest_lock:
+                    requests = self.batcher.drain()
+                if not requests:
+                    return produced
+                produced.extend(self._score_requests(requests))
+
+    def drain(self) -> List[StreamDetection]:
+        """Terminal flush: honour expired deadlines first, then score the rest.
+
+        :meth:`flush` alone is deadline-blind, and :meth:`poll` alone *skips*
+        a final under-filled batch whenever the clock never advances past the
+        flush deadline — a deadline-driven driver that ends its run on
+        ``poll()`` would strand those requests forever.  ``drain()`` is the
+        terminal operation: it first runs the deadline loop (so batches that
+        *are* past their deadline flush with exactly the boundaries a running
+        service would have given them), then scores everything still queued.
+        After it returns the queue is empty.
+        """
+        with self._score_lock:
+            produced = self._score_while_ready()
+            produced.extend(self.flush())
+            return produced
 
     # ------------------------------------------------------------------ #
     # Scoring core
@@ -557,8 +736,14 @@ class ScoringService:
         they are reporting, not behaviour: past detections, emitted triggers,
         and serving counters (a restored service starts those at zero).
         The returned structure is JSON-plus-ndarray; the runtime's checkpoint
-        codec handles persistence.
+        codec handles persistence.  Taken under both locks, so the export is
+        a consistent cut even while worker threads are active (callers should
+        still quiesce background update planes first — the runtime does).
         """
+        with self._score_lock, self._ingest_lock:
+            return self._export_state_locked()
+
+    def _export_state_locked(self) -> Dict[str, object]:
         return {
             "sessions": {
                 stream_id: {
@@ -583,6 +768,10 @@ class ScoringService:
 
     def restore_state(self, state: Mapping[str, object]) -> None:
         """Load an :meth:`export_state` payload into this (fresh) service."""
+        with self._score_lock, self._ingest_lock:
+            self._restore_state_locked(state)
+
+    def _restore_state_locked(self, state: Mapping[str, object]) -> None:
         if self.sessions or len(self.batcher):
             raise RuntimeError("restore_state requires a fresh service (no traffic yet)")
         for stream_id, payload in state["sessions"].items():

@@ -23,19 +23,38 @@ micro-batching happens *within* a shard, which is the point: streams of the
 same model coalesce into full batches, while the wall-clock flush deadline
 (`ServingConfig.max_batch_delay_ms`) bounds how stale a queued segment can
 get when a shard's fan-in is low.
+
+Execution is pluggable: with the default
+:class:`~repro.serving.executor.SerialExecutor` every code path is
+bit-for-bit identical to the pre-executor runtime, while a
+:class:`~repro.serving.executor.ParallelExecutor` fans ready shard batches
+out to a worker-thread pool (one fused forward per shard in flight, results
+merged deterministically by shard index) and ``background_updates=True``
+moves each registry's retrains onto a maintenance thread.  Terminal drains
+(:meth:`ShardedScoringService.flush` / :meth:`ShardedScoringService.drain`)
+deliberately stay serial in shard-index order, so end-of-run output is
+reproducible at any worker count.
 """
 
 from __future__ import annotations
 
+import threading
 import zlib
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..utils.config import ServingConfig, TrainingConfig, UpdateConfig
+from .executor import BackgroundUpdatePlane, ParallelExecutor, SerialExecutor
 from .maintenance import UpdatePlane, UpdateReport
 from .registry import ModelRegistry
-from .service import ScoringService, ServiceStats, StreamDetection, UpdateTrigger
+from .service import (
+    ScoringService,
+    ServiceStats,
+    ShardStats,
+    StreamDetection,
+    UpdateTrigger,
+)
 
 __all__ = ["default_router", "ShardedScoringService"]
 
@@ -83,6 +102,18 @@ class ShardedScoringService:
         per stream on first use.
     clock:
         Shared time source for the wall-clock flush deadlines.
+    executor:
+        Shard-work execution strategy — a
+        :class:`~repro.serving.executor.SerialExecutor` (default; in-line,
+        bit-for-bit the pre-executor behaviour) or a
+        :class:`~repro.serving.executor.ParallelExecutor` (worker-thread
+        fan-out of ready shard batches).  The service owns the executor and
+        shuts it down in :meth:`close`.
+    background_updates:
+        Wrap every update plane in a
+        :class:`~repro.serving.executor.BackgroundUpdatePlane`: retrains run
+        on a maintenance thread instead of inside the scoring path.
+        Requires ``attach_update_planes``.
     """
 
     def __init__(
@@ -98,6 +129,8 @@ class ShardedScoringService:
         max_history: Optional[int] = None,
         router: Optional[Callable[[str], int]] = None,
         clock: Optional[Callable[[], float]] = None,
+        executor: Optional[Union[SerialExecutor, ParallelExecutor]] = None,
+        background_updates: bool = False,
     ) -> None:
         config = config if config is not None else ServingConfig()
         if isinstance(registries, ModelRegistry):
@@ -108,7 +141,10 @@ class ShardedScoringService:
                 raise ValueError("registries must not be empty")
         if attach_update_planes and update_config is None:
             raise ValueError("attach_update_planes requires update_config")
+        if background_updates and not attach_update_planes:
+            raise ValueError("background_updates requires attach_update_planes")
         self.config = config
+        self.executor = executor if executor is not None else SerialExecutor()
         self.shards: List[ScoringService] = []
         # One plane per *distinct* registry: shards sharing a registry share
         # the plane, so every update trains and merges against the latest
@@ -116,7 +152,7 @@ class ShardedScoringService:
         # shard still has its own drift monitor over its own streams, so two
         # shards of one model can both legitimately request updates — from
         # disjoint sample buffers.)
-        planes: Dict[int, UpdatePlane] = {}
+        planes: Dict[int, Union[UpdatePlane, BackgroundUpdatePlane]] = {}
         for registry in shard_registries:
             plane = None
             if attach_update_planes:
@@ -125,6 +161,8 @@ class ShardedScoringService:
                     plane = UpdatePlane(
                         registry, update_config=update_config, training_config=training_config
                     )
+                    if background_updates:
+                        plane = BackgroundUpdatePlane(plane)
                     planes[id(registry)] = plane
             self.shards.append(
                 ScoringService(
@@ -144,6 +182,8 @@ class ShardedScoringService:
             lambda stream_id: default_router(stream_id, len(self.shards))
         )
         self._routes: Dict[str, int] = {}
+        # Guards the route table only; shards have their own internal locks.
+        self._routes_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -153,17 +193,18 @@ class ShardedScoringService:
         return len(self.shards)
 
     def shard_index(self, stream_id: str) -> int:
-        """The (pinned) shard index owning ``stream_id``."""
-        index = self._routes.get(stream_id)
-        if index is None:
-            index = int(self._router(stream_id))
-            if not 0 <= index < len(self.shards):
-                raise ValueError(
-                    f"router assigned stream '{stream_id}' to shard {index}; "
-                    f"valid range is [0, {len(self.shards)})"
-                )
-            self._routes[stream_id] = index
-        return index
+        """The (pinned) shard index owning ``stream_id`` (thread-safe)."""
+        with self._routes_lock:
+            index = self._routes.get(stream_id)
+            if index is None:
+                index = int(self._router(stream_id))
+                if not 0 <= index < len(self.shards):
+                    raise ValueError(
+                        f"router assigned stream '{stream_id}' to shard {index}; "
+                        f"valid range is [0, {len(self.shards)})"
+                    )
+                self._routes[stream_id] = index
+            return index
 
     def shard_of(self, stream_id: str) -> ScoringService:
         """The shard service owning ``stream_id``."""
@@ -179,23 +220,86 @@ class ShardedScoringService:
         interaction_feature: np.ndarray,
         interaction_level: float = float("nan"),
     ) -> List[StreamDetection]:
-        """Feed one segment of one stream to its shard."""
-        return self.shard_of(stream_id).submit(
-            stream_id, action_feature, interaction_feature, interaction_level
-        )
+        """Feed one segment of one stream to its shard.
+
+        Under the serial executor this is the shard's own in-line
+        submit-and-score path (the reference semantics).  Under a parallel
+        executor the segment is enqueued and every shard's ready batches are
+        fanned out to the worker pool, merged by shard index.
+        """
+        shard = self.shard_of(stream_id)
+        if self.executor.serial:
+            return shard.submit(
+                stream_id, action_feature, interaction_feature, interaction_level
+            )
+        shard.enqueue(stream_id, action_feature, interaction_feature, interaction_level)
+        return self._score_ready()
+
+    def submit_many(
+        self, submissions: Iterable[Tuple]
+    ) -> List[StreamDetection]:
+        """Feed one tick of segments from many streams, then score once.
+
+        ``submissions`` is an iterable of ``(stream_id, action_feature,
+        interaction_feature[, interaction_level])`` tuples — the shape a
+        transport tier delivers when aligned live streams produce a segment
+        each.  All segments are enqueued first and scoring runs once at the
+        end, which is what lets multiple shards' batches fill in the same
+        tick and score *concurrently* under a parallel executor.  Results
+        are merged deterministically by shard index.
+        """
+        for submission in submissions:
+            stream_id, action_feature, interaction_feature = submission[:3]
+            level = float(submission[3]) if len(submission) > 3 else float("nan")
+            self.shard_of(stream_id).enqueue(
+                stream_id, action_feature, interaction_feature, level
+            )
+        return self._score_ready()
+
+    def _score_ready(self) -> List[StreamDetection]:
+        """Score every shard holding a full or deadline-expired batch.
+
+        Ready shards are dispatched through the executor (one non-blocking
+        scoring task per shard — a shard already being scored by another
+        thread is skipped, keeping one fused forward per shard in flight)
+        and the detections are merged in ascending shard-index order.
+        """
+        ready = [shard for shard in self.shards if shard.has_ready_work()]
+        if not ready:
+            return []
+        results = self.executor.map([shard.try_score_ready for shard in ready])
+        return [detection for result in results for detection in result]
 
     def poll(self) -> List[StreamDetection]:
-        """Run deadline flushes on every shard."""
-        produced: List[StreamDetection] = []
-        for shard in self.shards:
-            produced.extend(shard.poll())
-        return produced
+        """Run deadline flushes on every shard (fanned out when parallel)."""
+        results = self.executor.map([shard.poll for shard in self.shards])
+        return [detection for result in results for detection in result]
 
     def flush(self) -> List[StreamDetection]:
-        """Drain every shard regardless of batch occupancy."""
+        """Drain every shard regardless of batch occupancy.
+
+        Deliberately serial in shard-index order even under a parallel
+        executor: a terminal drain is rare and latency-insensitive, and
+        serialising it keeps end-of-run detections — including any update
+        publishes the last batches trigger — deterministic at any worker
+        count.
+        """
         produced: List[StreamDetection] = []
         for shard in self.shards:
             produced.extend(shard.flush())
+        return produced
+
+    def drain(self) -> List[StreamDetection]:
+        """Terminal drain: deadline-expired batches first, then everything.
+
+        Serial in shard-index order (see :meth:`flush`); afterwards
+        :meth:`quiesce` waits for any background retrains the final batches
+        triggered, so when ``drain()`` returns the runtime is fully idle.
+        """
+        produced: List[StreamDetection] = []
+        for shard in self.shards:
+            produced.extend(shard.drain())
+        self.quiesce()
         return produced
 
     def detections(self, stream_id: str) -> List[StreamDetection]:
@@ -217,6 +321,15 @@ class ShardedScoringService:
 
     def shard_stats(self) -> List[ServiceStats]:
         return [shard.stats for shard in self.shards]
+
+    def load_stats(self) -> List[ShardStats]:
+        """One consistent :class:`ShardStats` sample per shard.
+
+        The cross-shard load picture (queue depths, batch occupancy, scoring
+        latency) that a rebalancer — or an operator dashboard — reads to
+        decide whether the routing is keeping shards evenly fed.
+        """
+        return [shard.load_stats(index) for index, shard in enumerate(self.shards)]
 
     def reset_stats(self) -> None:
         for shard in self.shards:
@@ -244,7 +357,7 @@ class ShardedScoringService:
         return {index: shard.model_version for index, shard in enumerate(self.shards)}
 
     # ------------------------------------------------------------------ #
-    # Durable state (checkpoint/restore)
+    # Lifecycle (quiesce/close) and durable state (checkpoint/restore)
     # ------------------------------------------------------------------ #
     def _distinct_planes(self) -> List[UpdatePlane]:
         """Every attached plane once, in first-owning-shard order."""
@@ -254,6 +367,26 @@ class ShardedScoringService:
             if plane is not None and not any(plane is known for known in planes):
                 planes.append(plane)
         return planes
+
+    def quiesce(self) -> None:
+        """Wait until every in-flight background retrain has landed.
+
+        A no-op with synchronous planes.  The checkpoint path calls this
+        before exporting state (a checkpoint drains in-flight maintenance
+        work first); re-raises any failure a background retrain captured.
+        """
+        for plane in self._distinct_planes():
+            plane.quiesce()
+
+    def close(self) -> None:
+        """Stop maintenance threads and shut the executor down (idempotent).
+
+        Queued requests are *not* scored — call :meth:`drain` first for a
+        clean shutdown.  The service cannot be fed afterwards.
+        """
+        for plane in self._distinct_planes():
+            plane.close()
+        self.executor.close()
 
     def export_state(self) -> Dict[str, object]:
         """Continuation state of the whole sharded runtime.

@@ -7,6 +7,7 @@ from .config import (
     TrainingConfig,
     DetectionConfig,
     ServingConfig,
+    ExecutorConfig,
     UpdateConfig,
 )
 from .rng import make_rng, spawn_rngs, derive_rng
@@ -20,6 +21,7 @@ __all__ = [
     "TrainingConfig",
     "DetectionConfig",
     "ServingConfig",
+    "ExecutorConfig",
     "UpdateConfig",
     "make_rng",
     "spawn_rngs",

@@ -295,6 +295,45 @@ class ServingConfig(ConfigBase):
 
 
 @dataclass(frozen=True)
+class ExecutorConfig(ConfigBase):
+    """Execution strategy of the serving runtime (thread-parallel scoring).
+
+    Selects how :class:`~repro.serving.ShardedScoringService` runs its shard
+    work and where incremental retrains execute.  The default is the serial
+    in-line path, which is bit-for-bit identical to a runtime with no executor
+    at all; ``mode="parallel"`` fans ready shard batches out to a worker
+    thread pool (NumPy's BLAS kernels release the GIL, so fused forwards of
+    different shards genuinely overlap).
+    """
+
+    mode: str = "auto"
+    """``"serial"``, ``"parallel"``, or ``"auto"`` — auto resolves from the
+    ``REPRO_EXECUTOR`` environment variable (unset → serial), which is how CI
+    runs the whole fast suite once under the parallel executor."""
+
+    workers: int | None = None
+    """Worker-thread pool size for ``mode="parallel"``; ``None`` derives it
+    from the CPU count.  ``workers=1`` is bitwise-identical to serial."""
+
+    background_updates: bool = False
+    """Run incremental retrains on a maintenance thread instead of inside the
+    scoring path: scoring continues against the pinned snapshot while the
+    retrain runs, and the publish lands at a later micro-batch boundary.
+    Trades the serial path's deterministic swap timing for latency isolation."""
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("auto", "serial", "parallel"):
+            raise ValueError(
+                f"ExecutorConfig.mode must be 'auto', 'serial' or 'parallel', "
+                f"got {self.mode!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(
+                f"ExecutorConfig.workers must be positive when set, got {self.workers}"
+            )
+
+
+@dataclass(frozen=True)
 class UpdateConfig(ConfigBase):
     """Dynamic model-update parameters (Section IV-D)."""
 
@@ -315,7 +354,7 @@ class UpdateConfig(ConfigBase):
     """Interpolation weight applied to the new model when merging with the old."""
 
 
-__all__ += ["ServingConfig", "UpdateConfig"]
+__all__ += ["ServingConfig", "ExecutorConfig", "UpdateConfig"]
 
 _NESTED_CONFIGS.update(
     {
@@ -324,6 +363,7 @@ _NESTED_CONFIGS.update(
         "TrainingConfig": TrainingConfig,
         "DetectionConfig": DetectionConfig,
         "ServingConfig": ServingConfig,
+        "ExecutorConfig": ExecutorConfig,
         "UpdateConfig": UpdateConfig,
     }
 )

@@ -20,11 +20,13 @@ EXPECTED_REPRO_ALL = sorted(
         "AOVLIS",
         "ADOSFilter",
         "AnomalyDetector",
+        "BackgroundUpdatePlane",
         "CLSTM",
         "CLSTMSingleCouplingDetector",
         "CLSTMTrainer",
         "DetectionConfig",
         "DetectionResult",
+        "ExecutorConfig",
         "ExperimentHarness",
         "ExperimentScale",
         "FeaturePipeline",
@@ -36,11 +38,13 @@ EXPECTED_REPRO_ALL = sorted(
         "ModelConfig",
         "ModelRegistry",
         "ModelSnapshot",
+        "ParallelExecutor",
         "RTFMDetector",
         "Runtime",
         "RuntimeConfig",
         "ScoredStream",
         "ScoringService",
+        "SerialExecutor",
         "ServingConfig",
         "ShardedScoringService",
         "SimulatedI3DExtractor",
@@ -71,20 +75,25 @@ EXPECTED_RUNTIME_ALL = sorted(["CHECKPOINT_FORMAT", "Runtime", "RuntimeConfig"])
 
 EXPECTED_SERVING_ALL = sorted(
     [
+        "BackgroundUpdatePlane",
         "ManualClock",
         "MicroBatcher",
         "ModelRegistry",
         "ModelSnapshot",
+        "ParallelExecutor",
         "RegistryHandle",
         "ScoreRequest",
         "ScoringService",
+        "SerialExecutor",
         "ServiceStats",
+        "ShardStats",
         "ShardedScoringService",
         "StreamDetection",
         "StreamSession",
         "UpdatePlane",
         "UpdateReport",
         "UpdateTrigger",
+        "build_executor",
         "default_router",
         "replay_streams",
     ]

@@ -9,6 +9,7 @@ import pytest
 
 from repro.utils import (
     DetectionConfig,
+    ExecutorConfig,
     ModelConfig,
     ServingConfig,
     StreamProtocol,
@@ -95,6 +96,7 @@ ROUND_TRIP_CONFIGS = [
     TrainingConfig(epochs=7, action_loss="kl", use_fused=False),
     DetectionConfig(omega=0.6, threshold=0.5, sparse_groups=4),
     ServingConfig(max_batch_size=8, max_batch_delay_ms=25.0, num_shards=3),
+    ExecutorConfig(mode="parallel", workers=4, background_updates=True),
     UpdateConfig(buffer_size=50, interaction_threshold=0.4),
 ]
 
