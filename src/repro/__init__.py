@@ -71,6 +71,7 @@ from .utils import (
     DetectionConfig,
     ExecutorConfig,
     ModelConfig,
+    ServerConfig,
     ServingConfig,
     StreamProtocol,
     TrainingConfig,
@@ -126,6 +127,7 @@ __all__ = [
     "DetectionConfig",
     "ExecutorConfig",
     "ModelConfig",
+    "ServerConfig",
     "ServingConfig",
     "StreamProtocol",
     "TrainingConfig",

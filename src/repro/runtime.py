@@ -63,6 +63,7 @@ from .utils.config import (
     DetectionConfig,
     ExecutorConfig,
     ModelConfig,
+    ServerConfig,
     ServingConfig,
     TrainingConfig,
     UpdateConfig,
@@ -70,8 +71,15 @@ from .utils.config import (
 
 __all__ = ["RuntimeConfig", "Runtime", "CHECKPOINT_FORMAT"]
 
-CHECKPOINT_FORMAT = 1
-"""Version tag written into every checkpoint manifest."""
+CHECKPOINT_FORMAT = 2
+"""Version tag written into every checkpoint manifest.
+
+Format 2 added ``plane_pending`` (queued-but-not-started background
+retrains, persisted instead of force-executed at checkpoint time) and the
+manifest's ``pending_updates`` count; format-1 checkpoints — which by
+construction had nothing queued — are still readable."""
+
+_READABLE_FORMATS = (1, 2)
 
 _MANIFEST_FILE = "runtime.json"
 _STATE_FILE = "state.npz"
@@ -102,6 +110,10 @@ class RuntimeConfig(ConfigBase):
     worker-thread pool for shard batches (``mode="parallel"``) with optional
     off-thread retrains (``background_updates=True``).  ``mode="auto"``
     resolves through the ``REPRO_EXECUTOR`` environment variable."""
+
+    server: ServerConfig = ServerConfig()
+    """HTTP ingest tier parameters consumed by :meth:`Runtime.serve`
+    (bind address, admission-control queue bound, batch/long-poll knobs)."""
 
     sequence_length: int = 9
     """History length q of the CLSTM input sequences."""
@@ -178,6 +190,7 @@ class Runtime:
         self.registry: Optional[ModelRegistry] = None
         self.service: Optional[ShardedScoringService] = None
         self.history: Optional[TrainingHistory] = None
+        self._server = None  # RuntimeServer started via serve()
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -266,9 +279,13 @@ class Runtime:
         stream_id: str,
         action_feature: np.ndarray,
         interaction_feature: np.ndarray,
-        interaction_level: float = float("nan"),
+        interaction_level: Optional[float] = None,
     ) -> List[StreamDetection]:
         """Feed one incoming segment of one stream into the runtime.
+
+        ``interaction_level`` must be finite when given; ``None`` (the
+        default) is the explicit "unknown" opt-in that excludes the segment
+        from drift tracking.  Non-finite values raise at the ingest boundary.
 
         Returns the detections produced by any micro-batch this submission
         completed (usually for *earlier* segments — the latency/throughput
@@ -334,15 +351,42 @@ class Runtime:
         self._require_serving()
         return self.service.detections(stream_id)
 
+    def serve(self, *, start: bool = True):
+        """Put this runtime behind the HTTP ingest tier.
+
+        Builds a :class:`~repro.server.RuntimeServer` from
+        ``config.server`` (single-tenant: wire stream ids pass through
+        verbatim) and — unless ``start=False`` — binds the socket and starts
+        serving.  The runtime owns the server: :meth:`close` shuts it down
+        first, so admitted-but-unscored segments are flushed into the
+        runtime before the final drain.  For multi-tenant deployments build
+        the server around a :class:`~repro.server.TenantRouter` directly.
+        """
+        self._require_serving()
+        if self._server is not None:
+            raise RuntimeError("runtime is already serving; close() it first")
+        from .server import RuntimeServer  # deferred: repro.server imports us
+
+        server = RuntimeServer(self, config=self.config.server)
+        self._server = server
+        if start:
+            server.start()
+        return server
+
     def close(self) -> List[StreamDetection]:
         """Drain outstanding work, stop threads, stop accepting traffic.
 
-        Returns the final drain's detections.  Shuts the executor pool and
-        any maintenance threads down.  Idempotent; a closed runtime can
-        still be inspected and checkpointed, but not fed.
+        Returns the final drain's detections.  Shuts the HTTP server down
+        first (when :meth:`serve` started one) so every admitted segment
+        reaches the runtime, then drains, then stops the executor pool and
+        any maintenance threads.  Idempotent; a closed runtime can still be
+        inspected and checkpointed, but not fed.
         """
         if self._closed:
             return []
+        if self._server is not None:
+            self._server.close()
+            self._server = None
         final: List[StreamDetection] = []
         if self.fitted:
             final = self.service.drain()
@@ -428,15 +472,23 @@ class Runtime:
         leaves either the previous checkpoint or, in the narrow window
         between the two renames, no checkpoint (which fails loudly).
 
-        In-flight maintenance work is drained first: the service quiesces
-        any background update planes before state is exported, so the
-        persisted version lineage never has a retrain still in the air.
-        Queued-but-unscored requests stay queued and are persisted as such.
+        In-flight maintenance work is *paused*, not drained: the service
+        pauses its background update planes (waiting only for the retrain
+        already running, if any), exports state — including the queue of
+        not-yet-started retrains — and resumes.  A restored runtime
+        re-enqueues that queue, so queued maintenance work survives the
+        process instead of being force-executed at checkpoint time or
+        silently dropped at shutdown.
         """
         self._require_fitted()
         self._require_serving_built()
-        self.service.quiesce()
-        target = Path(path)
+        self.service.pause_maintenance()
+        try:
+            return self._checkpoint_paused(Path(path))
+        finally:
+            self.service.resume_maintenance()
+
+    def _checkpoint_paused(self, target: Path) -> Path:
         directory = target.parent / f".{target.name}.staging"
         if directory.exists():
             shutil.rmtree(directory)
@@ -473,7 +525,8 @@ class Runtime:
             )
 
         arrays: Dict[str, np.ndarray] = {}
-        structure = _pack(self.service.export_state(), arrays)
+        state = self.service.export_state()
+        structure = _pack(state, arrays)
         save_state(directory / _STATE_FILE, arrays, metadata={"state": structure})
 
         manifest = {
@@ -483,6 +536,7 @@ class Runtime:
             # retained version IS the version pointer of this registry cut.
             "published": versions[-1]["version"],
             "versions": versions,
+            "pending_updates": sum(len(jobs) for jobs in state["plane_pending"]),
         }
         (directory / _MANIFEST_FILE).write_text(
             json.dumps(manifest, indent=2), encoding="utf-8"
@@ -516,10 +570,10 @@ class Runtime:
         if not manifest_path.exists():
             raise FileNotFoundError(f"no runtime checkpoint at {directory}")
         manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-        if manifest.get("format") != CHECKPOINT_FORMAT:
+        if manifest.get("format") not in _READABLE_FORMATS:
             raise ValueError(
                 f"unsupported checkpoint format {manifest.get('format')!r}; "
-                f"this build reads format {CHECKPOINT_FORMAT}"
+                f"this build reads formats {list(_READABLE_FORMATS)}"
             )
         config = RuntimeConfig.from_dict(manifest["config"])
         runtime = cls(config, clock=clock)

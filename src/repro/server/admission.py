@@ -1,0 +1,116 @@
+"""Admission control: the bounded queue between the socket and the runtime.
+
+HTTP handler threads *offer* validated work; a single batcher thread *takes*
+it in micro-batch-sized chunks.  The queue is bounded — when accepting a
+request would push the depth past ``max_pending``, the whole request is
+refused (HTTP 429 with a ``Retry-After`` hint) and **none** of its segments
+enqueue.  All-or-nothing admission is what makes the 429 contract honest:
+work is either fully accepted (and will be scored, barring process death) or
+fully refused (and the client retries the identical request); a partially
+admitted request would be both.
+
+This is deliberately a *second* bound in front of
+``ServingConfig.max_queue_depth``: the service-level bound protects the
+library runtime from any misbehaving in-process producer, while this one
+protects the process from the network — and refuses load *before* feature
+arrays are stacked into shard queues.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded FIFO hand-off from HTTP handler threads to the batcher.
+
+    Parameters
+    ----------
+    max_pending:
+        Hard bound on queued-but-not-taken items.
+    retry_after_seconds:
+        The ``Retry-After`` hint attached to refusals.  A constant from
+        configuration (not a measured drain rate): deterministic, and honest
+        enough — the client's contract is "retry later", not a latency SLO.
+    """
+
+    def __init__(self, max_pending: int, retry_after_seconds: float) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        if retry_after_seconds <= 0:
+            raise ValueError(
+                f"retry_after_seconds must be positive, got {retry_after_seconds}"
+            )
+        self.max_pending = int(max_pending)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self._state = threading.Condition()
+        self._queue: Deque[object] = deque()
+        self._closed = False
+        self.accepted = 0
+        self.rejected = 0
+        self.high_watermark = 0
+
+    def depth(self) -> int:
+        with self._state:
+            return len(self._queue)
+
+    def offer(self, items: List[object]) -> Tuple[bool, int]:
+        """Admit ``items`` as a unit; returns ``(accepted, queue_depth)``.
+
+        Refuses the *whole* batch when it does not fit below ``max_pending``
+        — nothing is partially enqueued — and when the controller is closed
+        (a draining server refuses new work the same way it refuses
+        overload: the client retries against the replacement).
+        """
+        if not items:
+            return True, self.depth()
+        with self._state:
+            if self._closed or len(self._queue) + len(items) > self.max_pending:
+                self.rejected += len(items)
+                return False, len(self._queue)
+            self._queue.extend(items)
+            self.accepted += len(items)
+            self.high_watermark = max(self.high_watermark, len(self._queue))
+            self._state.notify_all()
+            return True, len(self._queue)
+
+    def wait(self, timeout: float) -> bool:
+        """Block up to ``timeout`` seconds for queued work (or closure)."""
+        with self._state:
+            return self._state.wait_for(
+                lambda: bool(self._queue) or self._closed, timeout=timeout
+            )
+
+    def take(self, max_items: int) -> List[object]:
+        """Pop up to ``max_items`` queued items without blocking (FIFO)."""
+        with self._state:
+            batch: List[object] = []
+            while self._queue and len(batch) < max_items:
+                batch.append(self._queue.popleft())
+            return batch
+
+    def close(self) -> None:
+        """Refuse all future offers and wake any waiting batcher (idempotent).
+
+        Already-admitted items stay queued — the shutdown path takes and
+        ingests them, honouring the never-drop-accepted-work contract.
+        """
+        with self._state:
+            self._closed = True
+            self._state.notify_all()
+
+    def stats(self) -> Dict[str, object]:
+        """One consistent counter sample (for ``/stats``)."""
+        with self._state:
+            return {
+                "queue_depth": len(self._queue),
+                "max_pending": self.max_pending,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "high_watermark": self.high_watermark,
+                "retry_after_seconds": self.retry_after_seconds,
+            }

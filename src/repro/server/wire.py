@@ -1,0 +1,132 @@
+"""JSON wire protocol of the HTTP ingest tier.
+
+One request shape in, one detection shape out:
+
+* **Ingest** (``POST /v1/ingest``)::
+
+      {"segments": [{"stream": "tenant-a/cam-1",
+                     "action": [...],          # finite numbers
+                     "interaction": [...],     # finite numbers
+                     "level": 0.41},           # optional; null/absent = unknown
+                    ...]}
+
+* **Detection** (``GET /v1/detections``) — each element is
+  :func:`detection_to_json` of one
+  :class:`~repro.serving.service.StreamDetection`.
+
+Validation is strict and happens *before* admission: a request that would
+poison the runtime (non-finite features, a non-finite interaction level —
+Python's ``json`` accepts ``NaN``/``Infinity`` literals, so the wire *can*
+deliver them — missing fields, wrong types) is rejected with a 400 carrying
+the offending segment's position, and nothing of the request is enqueued.
+Floats round-trip exactly: ``json`` serialises via ``repr``, which is
+lossless for IEEE-754 doubles, so detections read over the wire compare
+bitwise-equal to detections read from the library API.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from ..serving.service import StreamDetection
+
+__all__ = ["WireError", "IngestItem", "parse_ingest", "detection_to_json"]
+
+IngestItem = Tuple[str, np.ndarray, np.ndarray, Optional[float]]
+"""One parsed segment: ``(stream_id, action, interaction, level)`` — the
+tuple shape :meth:`Runtime.ingest_many` consumes."""
+
+
+class WireError(Exception):
+    """A client-attributable protocol violation, mapped to an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+
+def _finite_vector(value: Any, field: str, position: int) -> np.ndarray:
+    if not isinstance(value, list) or not value:
+        raise WireError(
+            400, f"segments[{position}].{field} must be a non-empty number list"
+        )
+    try:
+        vector = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise WireError(
+            400, f"segments[{position}].{field} must contain only numbers"
+        ) from None
+    if vector.ndim != 1:
+        raise WireError(400, f"segments[{position}].{field} must be a flat list")
+    if not np.isfinite(vector).all():
+        raise WireError(
+            400, f"segments[{position}].{field} contains non-finite values"
+        )
+    return vector
+
+
+def parse_ingest(body: bytes, *, max_items: Optional[int] = None) -> List[IngestItem]:
+    """Parse and validate one ingest request body.
+
+    Returns the submissions in request order.  Raises :class:`WireError`
+    (status 400) on any malformed or non-finite input; the whole request is
+    rejected as a unit — ingest is all-or-nothing at the protocol layer too,
+    matching the admission controller's contract.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(400, f"request body is not valid JSON: {error}") from None
+    if not isinstance(payload, dict) or not isinstance(payload.get("segments"), list):
+        raise WireError(400, "request body must be {\"segments\": [...]}")
+    segments = payload["segments"]
+    if not segments:
+        raise WireError(400, "segments must not be empty")
+    if max_items is not None and len(segments) > max_items:
+        raise WireError(
+            413, f"request carries {len(segments)} segments; limit is {max_items}"
+        )
+    items: List[IngestItem] = []
+    for position, entry in enumerate(segments):
+        if not isinstance(entry, dict):
+            raise WireError(400, f"segments[{position}] must be an object")
+        stream_id = entry.get("stream")
+        if not isinstance(stream_id, str) or not stream_id:
+            raise WireError(
+                400, f"segments[{position}].stream must be a non-empty string"
+            )
+        action = _finite_vector(entry.get("action"), "action", position)
+        interaction = _finite_vector(entry.get("interaction"), "interaction", position)
+        level = entry.get("level")
+        if level is not None:
+            if isinstance(level, bool) or not isinstance(level, (int, float)):
+                raise WireError(
+                    400, f"segments[{position}].level must be a number or null"
+                )
+            level = float(level)
+            if not np.isfinite(level):
+                raise WireError(
+                    400,
+                    f"segments[{position}].level must be finite "
+                    "(use null to mark the level unknown)",
+                )
+        items.append((stream_id, action, interaction, level))
+    return items
+
+
+def detection_to_json(detection: StreamDetection) -> dict:
+    """One :class:`StreamDetection` as a JSON-serialisable dict (lossless)."""
+    return {
+        "stream": detection.stream_id,
+        "segment_index": detection.segment_index,
+        "score": detection.score,
+        "action_error": detection.action_error,
+        "interaction_error": detection.interaction_error,
+        "is_anomaly": detection.is_anomaly,
+        "threshold": detection.threshold,
+        "model_version": detection.model_version,
+    }

@@ -30,7 +30,7 @@ from .executor import (
     build_executor,
 )
 from .maintenance import UpdatePlane, UpdateReport
-from .microbatch import MicroBatcher, ScoreRequest
+from .microbatch import MicroBatcher, QueueFull, ScoreRequest
 from .registry import ModelRegistry, ModelSnapshot, RegistryHandle
 from .service import (
     ManualClock,
@@ -41,6 +41,7 @@ from .service import (
     StreamSession,
     UpdateTrigger,
     replay_streams,
+    validate_interaction_level,
 )
 from .sharding import ShardedScoringService, default_router
 
@@ -51,6 +52,7 @@ __all__ = [
     "ModelRegistry",
     "ModelSnapshot",
     "ParallelExecutor",
+    "QueueFull",
     "RegistryHandle",
     "ScoreRequest",
     "ScoringService",
@@ -66,4 +68,5 @@ __all__ = [
     "build_executor",
     "default_router",
     "replay_streams",
+    "validate_interaction_level",
 ]

@@ -44,10 +44,10 @@ shards serially in index order for this reason.
 from __future__ import annotations
 
 import os
-import queue
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, Deque, List, Optional, Sequence, TypeVar, Union
 
 from ..utils.config import ExecutorConfig, TrainingConfig, UpdateConfig
 from .maintenance import UpdatePlane, UpdateReport
@@ -77,10 +77,21 @@ _DEFAULT_WORKER_CAP = 8
 def default_workers() -> int:
     """Pool size used when ``ExecutorConfig.workers`` is unset.
 
-    One worker per CPU, capped — shard scoring is BLAS-bound, so threads past
-    the physical core count only add scheduling noise.
+    One worker per *available* CPU, capped — shard scoring is BLAS-bound, so
+    threads past the physical core count only add scheduling noise.
+
+    Availability comes from the process's CPU affinity mask
+    (``os.sched_getaffinity``), not ``os.cpu_count()``: under a cgroup cpuset
+    or an explicit affinity mask — the container deployment this runtime
+    targets — ``cpu_count`` reports the *host's* cores and the pool would
+    oversubscribe the handful actually schedulable.  Platforms without
+    affinity support (macOS, Windows) fall back to the CPU count.
     """
-    return max(1, min(_DEFAULT_WORKER_CAP, os.cpu_count() or 1))
+    try:
+        available = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - platform fallback
+        available = os.cpu_count() or 1
+    return max(1, min(_DEFAULT_WORKER_CAP, available))
 
 
 class SerialExecutor:
@@ -211,8 +222,16 @@ class BackgroundUpdatePlane:
     synchronous plane's would — only the *timing* of the swap moves.
 
     Failures of a background retrain are captured and re-raised from the
-    next :meth:`quiesce` (or :meth:`close`), so a crashing update cannot
-    disappear silently just because no caller was waiting on it.
+    next :meth:`quiesce`, :meth:`pause` or :meth:`close`, so a crashing
+    update cannot disappear silently just because no caller was waiting on
+    it.
+
+    The checkpoint path uses :meth:`pause` / :meth:`pending_jobs` /
+    :meth:`resume` instead of :meth:`quiesce`: pausing waits only for the
+    *in-flight* retrain, then the frozen queue of not-yet-started jobs is
+    persisted with the checkpoint and replayed on restore — a checkpoint
+    neither executes every queued retrain up front nor loses the queue when
+    the process exits.
 
     The wrapper exposes the inner plane's read surface (``registry``,
     ``reports``, ``updates_performed``, ``total_update_seconds``,
@@ -222,9 +241,10 @@ class BackgroundUpdatePlane:
 
     def __init__(self, plane: UpdatePlane) -> None:
         self.plane = plane
-        self._jobs: "queue.SimpleQueue[Optional[tuple]]" = queue.SimpleQueue()
         self._state = threading.Condition()
-        self._pending = 0
+        self._queue: Deque[tuple] = deque()
+        self._active: Optional[tuple] = None
+        self._paused = 0  # pause() nesting depth
         self._failures: List[BaseException] = []
         self._closed = False
         self._thread = threading.Thread(
@@ -270,7 +290,7 @@ class BackgroundUpdatePlane:
     def pending_updates(self) -> int:
         """Retrains enqueued or running but not yet published."""
         with self._state:
-            return self._pending
+            return len(self._queue) + (1 if self._active is not None else 0)
 
     def handle_trigger(self, trigger: UpdateTrigger, samples: Sequence[ScoreRequest]) -> None:
         """Enqueue one retrain and return immediately.
@@ -282,21 +302,22 @@ class BackgroundUpdatePlane:
         :class:`UpdateReport`: the report appears in :attr:`reports` when the
         maintenance thread finishes the job.
         """
-        # The enqueue happens inside the locked section: were it outside, a
-        # racing close() could slip its shutdown sentinel in first and this
-        # job would land in a dead queue with _pending stuck above zero
-        # (hanging every later quiesce()).
         with self._state:
             if self._closed:
                 raise RuntimeError("background update plane is closed")
-            self._pending += 1
-            self._jobs.put((trigger, tuple(samples)))
+            self._queue.append((trigger, tuple(samples)))
+            self._state.notify_all()
 
     def _run(self) -> None:
         while True:
-            job = self._jobs.get()
-            if job is None:
-                return
+            with self._state:
+                self._state.wait_for(
+                    lambda: self._paused == 0 and (self._queue or self._closed)
+                )
+                if not self._queue:  # closed and fully drained
+                    return
+                job = self._queue.popleft()
+                self._active = job
             trigger, samples = job
             try:
                 self.plane.handle_trigger(trigger, samples)
@@ -305,38 +326,81 @@ class BackgroundUpdatePlane:
                     self._failures.append(error)
             finally:
                 with self._state:
-                    self._pending -= 1
+                    self._active = None
                     self._state.notify_all()
+
+    def pause(self) -> None:
+        """Stop dequeuing new jobs; block until the in-flight one lands.
+
+        Re-entrant (pauses nest; each needs a matching :meth:`resume`), so
+        the runtime's checkpoint path can pause inside a caller's own pause.
+        While paused the queue is frozen — :meth:`pending_jobs` is a stable
+        snapshot a checkpoint can persist — but :meth:`handle_trigger` still
+        accepts new jobs (scoring threads are not blocked; their triggers
+        queue behind the freeze).  Re-raises any captured background failure
+        (after undoing the pause), so a checkpoint fails loudly instead of
+        persisting a lineage whose last retrain crashed.
+        """
+        with self._state:
+            self._paused += 1
+            self._state.wait_for(lambda: self._active is None)
+            failed = bool(self._failures)
+        if failed:
+            self.resume()
+            self._raise_failures()
+
+    def resume(self) -> None:
+        """Undo one :meth:`pause`; the maintenance thread picks work back up."""
+        with self._state:
+            if self._paused == 0:
+                raise RuntimeError("resume() without a matching pause()")
+            self._paused -= 1
+            self._state.notify_all()
+
+    def pending_jobs(self) -> List[tuple]:
+        """Snapshot of the queued-but-not-started ``(trigger, samples)`` jobs.
+
+        Only stable while paused (the maintenance thread dequeues otherwise);
+        the checkpoint path persists this snapshot so queued retrains survive
+        a restore instead of being silently dropped with the process.
+        """
+        with self._state:
+            return list(self._queue)
 
     def quiesce(self) -> None:
         """Block until every queued retrain has landed (or failed).
 
-        Re-raises the first captured background failure.  The runtime's
-        checkpoint path calls this before exporting state, so a checkpoint
-        drains in-flight maintenance work first and can never persist a
-        version lineage with a retrain still in the air.
+        Re-raises the first captured background failure.  Must not be called
+        while paused with jobs still queued — the frozen queue would never
+        drain.  ``drain()``-style terminal paths call this so no caller ever
+        observes a half-applied version lineage.
         """
         with self._state:
-            self._state.wait_for(lambda: self._pending == 0)
-            failures, self._failures = self._failures, []
-        if failures:
-            raise RuntimeError(
-                f"{len(failures)} background update(s) failed"
-            ) from failures[0]
+            self._state.wait_for(
+                lambda: not self._queue and self._active is None
+            )
+        self._raise_failures()
 
     def close(self) -> None:
         """Finish queued jobs, stop the maintenance thread (idempotent).
 
-        Like :meth:`quiesce`, re-raises the first captured background
-        failure — shutting down must not make a crashed retrain disappear.
+        Any outstanding pauses are cancelled so the queued jobs can run to
+        completion — shutdown executes queued retrains rather than dropping
+        them.  (Runtimes that must *not* run them at shutdown checkpoint
+        first: the checkpoint persists the queue, and the restored runtime
+        re-enqueues it.)  Like :meth:`quiesce`, re-raises the first captured
+        background failure — shutting down must not make a crashed retrain
+        disappear.
         """
         with self._state:
-            already = self._closed
             self._closed = True
-            if not already:
-                self._jobs.put(None)
+            self._paused = 0
+            self._state.notify_all()
         if self._thread.is_alive():
             self._thread.join()
+        self._raise_failures()
+
+    def _raise_failures(self) -> None:
         with self._state:
             failures, self._failures = self._failures, []
         if failures:

@@ -203,6 +203,16 @@ class UpdatePlane:
         BackgroundUpdatePlane` — without caring which they hold.
         """
 
+    def pause(self) -> None:
+        """Synchronous planes run updates in-line; nothing to pause."""
+
+    def resume(self) -> None:
+        """Counterpart of the no-op :meth:`pause`."""
+
+    def pending_jobs(self) -> List[tuple]:
+        """Synchronous planes never queue work; always empty."""
+        return []
+
     def close(self) -> None:
         """Synchronous planes hold no thread to stop; uniform no-op."""
 

@@ -20,7 +20,20 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ScoreRequest", "MicroBatcher"]
+__all__ = ["QueueFull", "ScoreRequest", "MicroBatcher"]
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when the queue bound is reached.
+
+    Carries the bound so admission layers can surface it; catching this and
+    shedding the request (rather than blocking the ingest thread) is the
+    back-pressure contract of the bounded queue.
+    """
+
+    def __init__(self, max_pending: int) -> None:
+        super().__init__(f"micro-batch queue is full ({max_pending} pending requests)")
+        self.max_pending = max_pending
 
 
 @dataclass(frozen=True)
@@ -66,14 +79,20 @@ class MicroBatcher:
     """
 
     def __init__(
-        self, max_batch_size: int = 64, max_delay_seconds: Optional[float] = None
+        self,
+        max_batch_size: int = 64,
+        max_delay_seconds: Optional[float] = None,
+        max_pending: Optional[int] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
         if max_delay_seconds is not None and max_delay_seconds < 0:
             raise ValueError("max_delay_seconds must be non-negative when set")
+        if max_pending is not None and max_pending < max_batch_size:
+            raise ValueError("max_pending must be at least max_batch_size when set")
         self.max_batch_size = max_batch_size
         self.max_delay_seconds = max_delay_seconds
+        self.max_pending = max_pending
         self._queue: Deque[ScoreRequest] = deque()
         self._arrivals: Deque[Optional[float]] = deque()
         self.submitted = 0
@@ -87,7 +106,12 @@ class MicroBatcher:
 
         ``now`` stamps the arrival for deadline accounting; deadline-less
         callers can omit it.
+
+        Raises :class:`QueueFull` when ``max_pending`` is set and already
+        reached — the request is *not* enqueued; shed it or retry later.
         """
+        if self.max_pending is not None and len(self._queue) >= self.max_pending:
+            raise QueueFull(self.max_pending)
         self._queue.append(request)
         self._arrivals.append(now)
         self.submitted += 1

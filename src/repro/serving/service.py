@@ -70,7 +70,31 @@ __all__ = [
     "ManualClock",
     "ScoringService",
     "replay_streams",
+    "validate_interaction_level",
 ]
+
+
+def validate_interaction_level(level: Optional[float]) -> float:
+    """Validate one submission's ``interaction_level`` at the ingest boundary.
+
+    ``None`` is the explicit "unknown" opt-in: it maps to the internal ``nan``
+    sentinel, which excludes the segment from drift tracking (the legacy
+    behaviour of omitting the argument).  An actual *value* must be finite —
+    historically a ``nan`` or ``inf`` computed from bad upstream data slid
+    straight through the sharding boundary, silently disabling drift tracking
+    (``nan``) or corrupting the running interaction-level mean (``inf``).
+    Now every ingest path (``submit``/``enqueue``/``submit_many``/the HTTP
+    tier, which turns the error into a 400) rejects it here instead.
+    """
+    if level is None:
+        return float("nan")
+    level = float(level)
+    if not np.isfinite(level):
+        raise ValueError(
+            f"interaction_level must be finite, got {level!r} "
+            "(pass None to mark the level unknown)"
+        )
+    return level
 
 
 class ManualClock:
@@ -295,6 +319,12 @@ class ScoringService:
     clock:
         Monotonic time source for the deadline (defaults to
         ``time.monotonic``); tests inject a :class:`ManualClock`.
+    max_queue_depth:
+        Optional bound on queued-but-unscored requests; when reached,
+        ingest raises :class:`~repro.serving.microbatch.QueueFull` instead
+        of growing the queue without limit (the admission-control hook the
+        HTTP tier builds on).  ``None`` keeps the historical unbounded
+        queue.
     """
 
     def __init__(
@@ -311,6 +341,7 @@ class ScoringService:
         update_plane: Optional["UpdatePlane"] = None,
         max_batch_delay_ms: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
         if sequence_length < 1:
             raise ValueError("sequence_length must be positive")
@@ -349,6 +380,7 @@ class ScoringService:
             max_delay_seconds=(
                 max_batch_delay_ms / 1000.0 if max_batch_delay_ms is not None else None
             ),
+            max_pending=max_queue_depth,
         )
         self.sessions: Dict[str, StreamSession] = {}
         self.stats = ServiceStats()
@@ -443,13 +475,14 @@ class ScoringService:
         stream_id: str,
         action_feature: np.ndarray,
         interaction_feature: np.ndarray,
-        interaction_level: float,
+        interaction_level: Optional[float],
     ) -> Optional[float]:
         """Window + queue one segment; return its arrival stamp (no scoring)."""
+        level = validate_interaction_level(interaction_level)
         now = self._clock() if self.max_batch_delay_ms is not None else None
         with self._ingest_lock:
             request = self.session(stream_id).make_request(
-                action_feature, interaction_feature, float(interaction_level)
+                action_feature, interaction_feature, level
             )
             if request is not None:
                 self.batcher.submit(request, now=now)
@@ -460,7 +493,7 @@ class ScoringService:
         stream_id: str,
         action_feature: np.ndarray,
         interaction_feature: np.ndarray,
-        interaction_level: float = float("nan"),
+        interaction_level: Optional[float] = None,
     ) -> None:
         """Queue one segment without scoring anything.
 
@@ -498,9 +531,13 @@ class ScoringService:
         stream_id: str,
         action_feature: np.ndarray,
         interaction_feature: np.ndarray,
-        interaction_level: float = float("nan"),
+        interaction_level: Optional[float] = None,
     ) -> List[StreamDetection]:
         """Feed one incoming segment of one stream into the service.
+
+        ``interaction_level`` must be finite when given; ``None`` (the
+        default) marks it unknown and excludes the segment from drift
+        tracking — see :func:`validate_interaction_level`.
 
         Returns the detections produced by any micro-batch this submission
         completed (usually empty — results for this very segment arrive with
@@ -690,7 +727,9 @@ class ScoringService:
             self._historical_hidden = incoming
             self._clear_buffer()
             return None
-        similarity = hidden_set_similarity(self._historical_hidden, incoming)
+        similarity = hidden_set_similarity(
+            self._historical_hidden, incoming, statistic=self.update_config.drift_statistic
+        )
         reaction: Optional[tuple] = None
         if similarity <= self.update_config.drift_threshold:
             trigger = UpdateTrigger(
@@ -860,11 +899,14 @@ def replay_streams(
         for stream_id, features in streams.items():
             if position >= features.num_segments:
                 continue
-            level = (
-                float(features.normalised_interaction[position])
-                if features.normalised_interaction.size > position
-                else float("nan")
-            )
+            # Feature pipelines may emit nan for segments with no audience
+            # signal; map those to the explicit "unknown" opt-in instead of
+            # tripping the ingest boundary's finite-value validation.
+            level: Optional[float] = None
+            if features.normalised_interaction.size > position:
+                value = float(features.normalised_interaction[position])
+                if np.isfinite(value):
+                    level = value
             detections.extend(
                 service.submit(
                     stream_id,

@@ -54,6 +54,8 @@ from .service import (
     ShardStats,
     StreamDetection,
     UpdateTrigger,
+    _request_from_state,
+    _request_state,
 )
 
 __all__ = ["default_router", "ShardedScoringService"]
@@ -62,6 +64,34 @@ __all__ = ["default_router", "ShardedScoringService"]
 def default_router(stream_id: str, num_shards: int) -> int:
     """Stable stream → shard assignment (CRC-32 of the stream id)."""
     return zlib.crc32(stream_id.encode("utf-8")) % num_shards
+
+
+def _pending_job_state(trigger: UpdateTrigger, samples: Sequence) -> Dict[str, object]:
+    """One queued-but-not-started retrain job as a checkpoint leaf."""
+    return {
+        "trigger": {
+            "segment_index": trigger.segment_index,
+            "similarity": trigger.similarity,
+            "buffered_segments": trigger.buffered_segments,
+            "stream_ids": list(trigger.stream_ids),
+            "model_version": trigger.model_version,
+        },
+        "samples": [_request_state(request) for request in samples],
+    }
+
+
+def _pending_job_from_state(state: Mapping[str, object]) -> Tuple[UpdateTrigger, tuple]:
+    """Inverse of :func:`_pending_job_state`."""
+    payload = state["trigger"]
+    trigger = UpdateTrigger(
+        segment_index=int(payload["segment_index"]),
+        similarity=float(payload["similarity"]),
+        buffered_segments=int(payload["buffered_segments"]),
+        stream_ids=tuple(str(stream_id) for stream_id in payload["stream_ids"]),
+        model_version=int(payload["model_version"]),
+    )
+    samples = tuple(_request_from_state(sample) for sample in state["samples"])
+    return trigger, samples
 
 
 class ShardedScoringService:
@@ -176,6 +206,7 @@ class ShardedScoringService:
                     update_plane=plane,
                     max_batch_delay_ms=config.max_batch_delay_ms,
                     clock=clock,
+                    max_queue_depth=config.max_queue_depth,
                 )
             )
         self._router = router if router is not None else (
@@ -218,9 +249,15 @@ class ShardedScoringService:
         stream_id: str,
         action_feature: np.ndarray,
         interaction_feature: np.ndarray,
-        interaction_level: float = float("nan"),
+        interaction_level: Optional[float] = None,
     ) -> List[StreamDetection]:
         """Feed one segment of one stream to its shard.
+
+        ``interaction_level`` must be finite when given; ``None`` (the
+        default) is the explicit "unknown" opt-in.  Non-finite values are
+        rejected at the shard's ingest boundary
+        (:func:`~repro.serving.service.validate_interaction_level`) instead
+        of silently poisoning the drift monitor.
 
         Under the serial executor this is the shard's own in-line
         submit-and-score path (the reference semantics).  Under a parallel
@@ -250,7 +287,7 @@ class ShardedScoringService:
         """
         for submission in submissions:
             stream_id, action_feature, interaction_feature = submission[:3]
-            level = float(submission[3]) if len(submission) > 3 else float("nan")
+            level = submission[3] if len(submission) > 3 else None
             self.shard_of(stream_id).enqueue(
                 stream_id, action_feature, interaction_feature, level
             )
@@ -371,12 +408,37 @@ class ShardedScoringService:
     def quiesce(self) -> None:
         """Wait until every in-flight background retrain has landed.
 
-        A no-op with synchronous planes.  The checkpoint path calls this
-        before exporting state (a checkpoint drains in-flight maintenance
-        work first); re-raises any failure a background retrain captured.
+        A no-op with synchronous planes.  Terminal paths (:meth:`drain`)
+        call this so the runtime is fully idle afterwards; re-raises any
+        failure a background retrain captured.
         """
         for plane in self._distinct_planes():
             plane.quiesce()
+
+    def pause_maintenance(self) -> None:
+        """Pause every update plane (wait only for *in-flight* retrains).
+
+        The checkpoint path brackets :meth:`export_state` with this and
+        :meth:`resume_maintenance`: queued-but-not-started retrains stay
+        queued (and are persisted) instead of being executed up front.  On a
+        partial failure — a plane re-raising a captured retrain crash — the
+        planes already paused are resumed before the error propagates, so no
+        plane is left frozen.
+        """
+        paused: List[UpdatePlane] = []
+        try:
+            for plane in self._distinct_planes():
+                plane.pause()
+                paused.append(plane)
+        except BaseException:
+            for plane in reversed(paused):
+                plane.resume()
+            raise
+
+    def resume_maintenance(self) -> None:
+        """Undo one :meth:`pause_maintenance` on every update plane."""
+        for plane in self._distinct_planes():
+            plane.resume()
 
     def close(self) -> None:
         """Stop maintenance threads and shut the executor down (idempotent).
@@ -392,14 +454,20 @@ class ShardedScoringService:
         """Continuation state of the whole sharded runtime.
 
         Bundles each shard's :meth:`ScoringService.export_state`, the pinned
-        stream → shard routes, and every distinct update plane's lifetime
-        update count (the count seeds the per-update training RNG, so it must
-        survive a checkpoint for retrains to stay deterministic).
+        stream → shard routes, every distinct update plane's lifetime update
+        count (the count seeds the per-update training RNG, so it must
+        survive a checkpoint for retrains to stay deterministic) and each
+        plane's queue of not-yet-started retrain jobs (stable only while
+        :meth:`pause_maintenance` holds — the checkpoint path pauses first).
         """
         return {
             "routes": dict(self._routes),
             "shards": [shard.export_state() for shard in self.shards],
             "plane_updates": [plane.updates_performed for plane in self._distinct_planes()],
+            "plane_pending": [
+                [_pending_job_state(trigger, samples) for trigger, samples in plane.pending_jobs()]
+                for plane in self._distinct_planes()
+            ],
         }
 
     def restore_state(self, state: Mapping[str, object]) -> None:
@@ -434,3 +502,23 @@ class ShardedScoringService:
             )
         for plane, count in zip(planes, plane_updates):
             plane.restore_update_count(int(count))
+        # Re-enqueue retrains that were queued (not yet started) at
+        # checkpoint time — absent in pre-format-2 checkpoints.
+        plane_pending = state.get("plane_pending")
+        if plane_pending:
+            if len(plane_pending) != len(planes):
+                raise ValueError(
+                    f"checkpoint has pending jobs for {len(plane_pending)} update "
+                    f"plane(s); this service was built with {len(planes)}"
+                )
+            for plane, jobs in zip(planes, plane_pending):
+                for job in jobs:
+                    trigger, samples = _pending_job_from_state(job)
+                    plane.handle_trigger(trigger, samples)
+
+    @property
+    def pending_updates(self) -> int:
+        """Retrains enqueued or in flight across all update planes."""
+        return sum(
+            getattr(plane, "pending_updates", 0) for plane in self._distinct_planes()
+        )

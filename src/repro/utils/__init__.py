@@ -9,6 +9,7 @@ from .config import (
     ServingConfig,
     ExecutorConfig,
     UpdateConfig,
+    ServerConfig,
 )
 from .rng import make_rng, spawn_rngs, derive_rng
 from .timer import Stopwatch, TimingAccumulator
@@ -23,6 +24,7 @@ __all__ = [
     "ServingConfig",
     "ExecutorConfig",
     "UpdateConfig",
+    "ServerConfig",
     "make_rng",
     "spawn_rngs",
     "derive_rng",

@@ -283,6 +283,13 @@ class ServingConfig(ConfigBase):
     """Number of scoring shards a shared model registry is served across.
     Ignored when one registry per shard is passed explicitly."""
 
+    max_queue_depth: int | None = None
+    """Per-shard bound on queued-but-unscored requests.  When set, a shard's
+    micro-batch queue refuses further submissions once this many requests are
+    waiting (:class:`~repro.serving.microbatch.QueueFull`), so a stalled
+    scorer surfaces as backpressure instead of unbounded memory growth.
+    ``None`` keeps the historical unbounded queue."""
+
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError(f"max_batch_size must be positive, got {self.max_batch_size}")
@@ -292,6 +299,11 @@ class ServingConfig(ConfigBase):
             )
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be positive, got {self.num_shards}")
+        if self.max_queue_depth is not None and self.max_queue_depth < self.max_batch_size:
+            raise ValueError(
+                f"max_queue_depth must be at least max_batch_size "
+                f"({self.max_batch_size}) when set, got {self.max_queue_depth}"
+            )
 
 
 @dataclass(frozen=True)
@@ -343,6 +355,18 @@ class UpdateConfig(ConfigBase):
     drift_threshold: float = 0.4
     """Similarity threshold tau_u below which an update is triggered."""
 
+    drift_statistic: str = "cosine"
+    """Which similarity statistic the drift check (Eq. 17) computes.
+
+    ``"cosine"`` is the paper's mean pairwise cosine between the historical
+    and buffered hidden-state sets.  LSTM hidden states share a large common
+    component, so on stationary streams this statistic saturates near 1.0 and
+    ``drift_threshold`` has almost no dynamic range.  ``"centered"`` removes
+    the historical mean from the buffered states before normalising: it stays
+    near 1.0 on stationary streams but collapses towards 0.0 under a
+    consistent drift direction, giving the threshold real headroom (see
+    :func:`repro.core.update.hidden_set_similarity`)."""
+
     interaction_threshold: float | None = None
     """Threshold T for labelling incoming segments normal; ``None`` uses the
     running mean of the previous slot's normalised audience interaction."""
@@ -353,8 +377,87 @@ class UpdateConfig(ConfigBase):
     merge_weight: float = 0.5
     """Interpolation weight applied to the new model when merging with the old."""
 
+    def __post_init__(self) -> None:
+        if self.drift_statistic not in ("cosine", "centered"):
+            raise ValueError(
+                f"UpdateConfig.drift_statistic must be 'cosine' or 'centered', "
+                f"got {self.drift_statistic!r}"
+            )
 
-__all__ += ["ServingConfig", "ExecutorConfig", "UpdateConfig"]
+
+@dataclass(frozen=True)
+class ServerConfig(ConfigBase):
+    """HTTP ingest tier parameters (:mod:`repro.server`).
+
+    The server is a stdlib-only front-end: JSON wire requests land in an
+    admission-controlled ingest queue, a single batcher thread drains the
+    queue into :meth:`repro.runtime.Runtime.ingest_many`, and detections
+    stream back through a poll/long-poll endpoint.  These knobs bound the
+    queue (backpressure instead of unbounded memory), the batch the runtime
+    sees per drain, and the long-poll behaviour.
+    """
+
+    host: str = "127.0.0.1"
+    """Interface the HTTP listener binds."""
+
+    port: int = 0
+    """TCP port; ``0`` binds an ephemeral port (tests and examples read the
+    bound port back from :attr:`repro.server.RuntimeServer.port`)."""
+
+    max_pending: int = 1024
+    """Admission-control bound: wire requests accepted but not yet handed to
+    the runtime.  A POST that would push the queue past this bound is refused
+    whole with 429 and a ``Retry-After`` hint — admission is all-or-nothing,
+    so accepted work is never silently dropped."""
+
+    batch_max: int = 256
+    """Most wire requests the batcher thread drains into one
+    ``Runtime.ingest_many`` call."""
+
+    retry_after_seconds: float = 0.5
+    """Floor of the ``Retry-After`` hint returned with 429 responses; the
+    hint grows with the observed drain backlog."""
+
+    poll_interval_ms: float = 20.0
+    """How long the batcher thread waits for new work before running the
+    runtime's deadline flushes (``Runtime.poll``) anyway."""
+
+    long_poll_max_ms: float = 10_000.0
+    """Cap on the ``wait_ms`` a detections long-poll may request."""
+
+    request_max_bytes: int = 16_000_000
+    """Largest accepted POST body; bigger requests are refused with 413."""
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("ServerConfig.host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"ServerConfig.port must be in [0, 65535], got {self.port}")
+        if self.max_pending < 1:
+            raise ValueError(f"ServerConfig.max_pending must be positive, got {self.max_pending}")
+        if self.batch_max < 1:
+            raise ValueError(f"ServerConfig.batch_max must be positive, got {self.batch_max}")
+        if self.retry_after_seconds < 0:
+            raise ValueError(
+                f"ServerConfig.retry_after_seconds must be non-negative, "
+                f"got {self.retry_after_seconds}"
+            )
+        if self.poll_interval_ms <= 0:
+            raise ValueError(
+                f"ServerConfig.poll_interval_ms must be positive, got {self.poll_interval_ms}"
+            )
+        if self.long_poll_max_ms < 0:
+            raise ValueError(
+                f"ServerConfig.long_poll_max_ms must be non-negative, "
+                f"got {self.long_poll_max_ms}"
+            )
+        if self.request_max_bytes < 1:
+            raise ValueError(
+                f"ServerConfig.request_max_bytes must be positive, got {self.request_max_bytes}"
+            )
+
+
+__all__ += ["ServingConfig", "ExecutorConfig", "UpdateConfig", "ServerConfig"]
 
 _NESTED_CONFIGS.update(
     {
@@ -365,5 +468,6 @@ _NESTED_CONFIGS.update(
         "ServingConfig": ServingConfig,
         "ExecutorConfig": ExecutorConfig,
         "UpdateConfig": UpdateConfig,
+        "ServerConfig": ServerConfig,
     }
 )

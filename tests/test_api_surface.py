@@ -45,6 +45,7 @@ EXPECTED_REPRO_ALL = sorted(
         "ScoredStream",
         "ScoringService",
         "SerialExecutor",
+        "ServerConfig",
         "ServingConfig",
         "ShardedScoringService",
         "SimulatedI3DExtractor",
@@ -81,6 +82,7 @@ EXPECTED_SERVING_ALL = sorted(
         "ModelRegistry",
         "ModelSnapshot",
         "ParallelExecutor",
+        "QueueFull",
         "RegistryHandle",
         "ScoreRequest",
         "ScoringService",
@@ -96,6 +98,7 @@ EXPECTED_SERVING_ALL = sorted(
         "build_executor",
         "default_router",
         "replay_streams",
+        "validate_interaction_level",
     ]
 )
 

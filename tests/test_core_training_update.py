@@ -273,3 +273,83 @@ class TestAOVLISFacade:
         model = AOVLIS(sequence_length=4)
         with pytest.raises(ValueError):
             model.fit(all_anomalous)
+
+
+class TestCenteredDriftStatistic:
+    def test_centered_separates_drift_that_saturates_the_mean_cosine(self):
+        """Eq. 17's mean-cosine saturates when hidden states share a large
+        common component (post-activation LSTM states live in a narrow
+        cone): stationary and drifted sets both score ≈1 and no usable
+        threshold exists between them.  The centered variant measures the
+        *direction concentration of deviations from the historical mean*,
+        which stays near 1 for stationary data and collapses toward 0 under
+        a mean shift — restoring the separation the update loop needs."""
+        rng = np.random.default_rng(7)
+        historical = rng.normal(loc=5.0, scale=1.0, size=(200, 8))
+        stationary = rng.normal(loc=5.0, scale=1.0, size=(200, 8))
+        offset = np.zeros(8)
+        offset[0] = 4.0
+        drifted = rng.normal(loc=5.0, scale=1.0, size=(200, 8)) + offset
+
+        cosine_stationary = hidden_set_similarity(historical, stationary)
+        cosine_drifted = hidden_set_similarity(historical, drifted)
+        # Saturation: under the paper's statistic both look "similar" and
+        # the gap between them is a sliver near 1.0.
+        assert cosine_stationary > 0.9
+        assert cosine_drifted > 0.9
+        assert cosine_stationary - cosine_drifted < 0.1
+
+        centered_stationary = hidden_set_similarity(
+            historical, stationary, statistic="centered"
+        )
+        centered_drifted = hidden_set_similarity(
+            historical, drifted, statistic="centered"
+        )
+        assert centered_stationary > 0.8
+        assert centered_drifted < 0.35
+        # Wide headroom around a mid-range threshold (e.g. the 0.4 default
+        # regime) instead of the 1e-4 margin cosine leaves.
+        assert centered_stationary - centered_drifted > 0.4
+
+    def test_centered_is_maximal_for_identical_distributions(self, rng):
+        hidden = rng.normal(loc=3.0, size=(400, 6))
+        value = hidden_set_similarity(hidden, hidden, statistic="centered")
+        assert 0.8 < value <= 1.0
+
+    def test_unknown_statistic_rejected(self, rng):
+        hidden = rng.normal(size=(4, 3))
+        with pytest.raises(ValueError, match="statistic"):
+            hidden_set_similarity(hidden, hidden, statistic="manhattan")
+
+    def test_update_config_validates_drift_statistic(self):
+        assert UpdateConfig().drift_statistic == "cosine"
+        assert UpdateConfig(drift_statistic="centered").drift_statistic == "centered"
+        with pytest.raises(ValueError, match="drift_statistic"):
+            UpdateConfig(drift_statistic="bogus")
+
+    def test_updater_consumes_the_configured_statistic(self, tiny_train_test):
+        """``UpdateConfig.drift_statistic`` reaches Eq. 17: two updaters on
+        the same model and data report different similarities when the
+        statistic differs (drift_threshold=-1 keeps both from retraining,
+        so the buffers they compare stay identical)."""
+        train, test = tiny_train_test
+
+        def similarities(statistic):
+            model = CLSTM(
+                action_dim=train.action_dim, interaction_dim=train.interaction_dim, seed=0
+            )
+            updater = IncrementalUpdater(
+                model,
+                sequence_length=4,
+                update_config=UpdateConfig(
+                    buffer_size=10, drift_threshold=-1.0, drift_statistic=statistic
+                ),
+            )
+            updater.initialise_history(train)
+            return [d.similarity for d in updater.process_chunk(test)]
+
+        cosine = similarities("cosine")
+        centered = similarities("centered")
+        assert cosine and len(cosine) == len(centered)
+        assert cosine != centered
+        assert all(0.0 <= value <= 1.0 for value in centered)

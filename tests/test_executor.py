@@ -588,3 +588,89 @@ class TestBackgroundUpdatePlane:
             assert inner.updates_performed == 3
         finally:
             plane.close()
+
+
+class TestDefaultWorkers:
+    def test_sizes_pool_from_affinity_mask_not_cpu_count(self, monkeypatch):
+        from repro.serving import executor as executor_module
+
+        # A cgroup cpuset grants 3 CPUs on a 64-core host: the pool must
+        # follow the affinity mask, not the host count.
+        monkeypatch.setattr(
+            executor_module.os, "sched_getaffinity", lambda pid: {0, 1, 5}, raising=False
+        )
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 64)
+        assert executor_module.default_workers() == 3
+
+    def test_falls_back_to_cpu_count_without_affinity_support(self, monkeypatch):
+        from repro.serving import executor as executor_module
+
+        def unsupported(pid):
+            raise OSError("sched_getaffinity is not supported here")
+
+        monkeypatch.setattr(
+            executor_module.os, "sched_getaffinity", unsupported, raising=False
+        )
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 5)
+        assert executor_module.default_workers() == 5
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: None)
+        assert executor_module.default_workers() == 1
+
+    def test_wide_masks_are_capped(self, monkeypatch):
+        from repro.serving import executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module.os,
+            "sched_getaffinity",
+            lambda pid: set(range(64)),
+            raising=False,
+        )
+        assert executor_module.default_workers() == executor_module._DEFAULT_WORKER_CAP
+
+
+class TestBackgroundPlanePause:
+    def test_pause_queues_jobs_and_nesting_balances(self):
+        plane = BackgroundUpdatePlane(
+            UpdatePlane(make_registry(), update_config=UpdateConfig(buffer_size=4))
+        )
+        trigger = UpdateTrigger(
+            segment_index=1, similarity=0.1, buffered_segments=0, stream_ids=()
+        )
+        plane.pause()
+        plane.pause()  # nesting: a checkpoint inside a paused section
+        plane.handle_trigger(trigger, [])
+        plane.handle_trigger(trigger, [])
+        assert plane.pending_updates == 2
+        assert [queued for queued, _ in plane.pending_jobs()] == [trigger, trigger]
+        plane.resume()  # still paused at depth 1
+        time.sleep(0.05)
+        assert plane.pending_updates == 2
+        plane.resume()  # depth 0: the queued jobs run (and fail: empty buffer)
+        with pytest.raises(RuntimeError, match="background update"):
+            plane.quiesce()
+        with pytest.raises(RuntimeError, match="without a matching pause"):
+            plane.resume()
+        plane.close()
+
+    def test_close_runs_queued_jobs_instead_of_discarding_them(self):
+        """Regression: close() used to drop triggers still in the queue —
+        accepted drift evidence silently vanished at shutdown."""
+        plane = BackgroundUpdatePlane(
+            UpdatePlane(make_registry(), update_config=UpdateConfig(buffer_size=4))
+        )
+        trigger = UpdateTrigger(
+            segment_index=1, similarity=0.1, buffered_segments=0, stream_ids=()
+        )
+        plane.pause()
+        plane.handle_trigger(trigger, [])
+        # The queued job *runs* during close (its failure proves it did).
+        with pytest.raises(RuntimeError, match="background update"):
+            plane.close()
+        assert plane.pending_updates == 0
+        plane.close()  # idempotent after the failure drained
+
+    def test_synchronous_plane_pause_surface_is_a_no_op(self):
+        plane = UpdatePlane(make_registry(), update_config=UpdateConfig(buffer_size=4))
+        plane.pause()
+        plane.resume()
+        assert plane.pending_jobs() == []

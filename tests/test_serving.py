@@ -10,10 +10,12 @@ from repro.core.detector import AnomalyDetector
 from repro.features.pipeline import StreamFeatures
 from repro.serving import (
     MicroBatcher,
+    QueueFull,
     ScoreRequest,
     ScoringService,
     StreamSession,
     replay_streams,
+    validate_interaction_level,
 )
 from repro.utils.config import DetectionConfig, UpdateConfig
 
@@ -266,3 +268,76 @@ class TestScoringService:
         top_k.anomaly_threshold = 0.2
         with pytest.raises(ValueError, match="top_k"):
             ScoringService(top_k)
+
+
+class TestInteractionLevelValidation:
+    def test_validate_interaction_level_contract(self):
+        assert validate_interaction_level(0.25) == 0.25
+        assert np.isnan(validate_interaction_level(None))  # explicit unknown
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                validate_interaction_level(bad)
+
+    def test_submit_rejects_non_finite_levels_at_the_boundary(
+        self, calibrated_detector
+    ):
+        """Regression: a NaN level used to slide through and silently disable
+        drift tracking for the segment; an inf corrupted the running mean."""
+        service = ScoringService(calibrated_detector, sequence_length=Q, max_batch_size=8)
+        features = make_features("s", 10, seed=5)
+        # None is the explicit opt-in for "unknown" and stays accepted.
+        service.submit("s", features.action[0], features.interaction[0], None)
+        with pytest.raises(ValueError, match="finite"):
+            service.submit(
+                "s", features.action[1], features.interaction[1], float("nan")
+            )
+        with pytest.raises(ValueError, match="finite"):
+            service.submit(
+                "s", features.action[1], features.interaction[1], float("inf")
+            )
+        # Nothing reached the queue: the accepted segment is still warming up
+        # its session and the rejected ones never got that far.
+        assert service.batcher.submitted == 0
+
+    def test_replay_maps_non_finite_feature_levels_to_unknown(
+        self, calibrated_detector
+    ):
+        """Feature extraction can legitimately yield NaN interaction levels
+        (empty chat windows); replay must map them to the None opt-in rather
+        than trip the ingest validation."""
+        from dataclasses import replace
+
+        features = make_features("s", 12, seed=9)
+        levels = features.normalised_interaction.copy()
+        levels[4] = np.nan
+        features = replace(features, normalised_interaction=levels)
+        service = ScoringService(calibrated_detector, sequence_length=Q, max_batch_size=8)
+        produced = replay_streams(service, {"s": features})
+        produced.extend(service.drain())
+        assert len(produced) == features.num_segments - Q
+
+
+class TestBoundedQueue:
+    def test_microbatcher_refuses_overflow_without_enqueueing(self):
+        batcher = MicroBatcher(max_batch_size=2, max_pending=3)
+        for index in range(3):
+            batcher.submit(make_request(index=index))
+        with pytest.raises(QueueFull, match="3 pending") as excinfo:
+            batcher.submit(make_request(index=3))
+        assert excinfo.value.max_pending == 3
+        assert len(batcher) == 3  # the refused request was shed, not queued
+        assert [r.segment_index for r in batcher.drain()] == [0, 1]
+        batcher.submit(make_request(index=3))  # room again after a drain
+        assert [r.segment_index for r in batcher.drain()] == [2, 3]
+
+    def test_microbatcher_bound_validation(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            MicroBatcher(max_batch_size=8, max_pending=4)
+
+    def test_scoring_service_plumbs_queue_bound(self, calibrated_detector):
+        with pytest.raises(ValueError, match="max_pending"):
+            ScoringService(calibrated_detector, max_batch_size=8, max_queue_depth=4)
+        service = ScoringService(
+            calibrated_detector, sequence_length=Q, max_batch_size=8, max_queue_depth=8
+        )
+        assert service.batcher.max_pending == 8
