@@ -1,0 +1,167 @@
+"""Process-parallel serving throughput — worker processes vs worker threads.
+
+The thread-parallel gate (``test_parallel_throughput.py``) wins on BLAS-bound
+GEMM chains because NumPy releases the GIL inside them.  Live deployments are
+not always in that regime: small per-stream models spend most of each batch
+in the Python-level LSTM timestep loop, where the GIL serialises worker
+threads no matter how many cores are free.  That is the workload the
+:class:`~repro.serving.ProcessParallelExecutor` exists for — each worker owns
+an interpreter, reads snapshot weights zero-copy out of shared memory, and
+scores its shard's batches truly concurrently.
+
+This gate drives the same GIL-heavy mixed workload (small model, many
+streams, every shard's micro-batch filling on the same tick) through a
+:class:`~repro.serving.ShardedScoringService` twice — once on a
+:class:`~repro.serving.ParallelExecutor` (worker threads) and once on a
+:class:`~repro.serving.ProcessParallelExecutor` (worker processes), both at
+``WORKERS`` workers — and requires the process run to finish the replay at
+least ``REQUIRED_SPEEDUP``x faster in wall-clock time.  Detections must be
+identical between the two runs (and both bitwise-equal to what the serial
+path would produce — the executors only move compute, never change it).
+
+CI pins BLAS to one thread (``OPENBLAS_NUM_THREADS=1`` / ``OMP_NUM_THREADS=1``)
+for this job so library-internal threading neither helps the thread run nor
+steals cores from the process run.  The gate needs real cores to demonstrate
+a wall-clock speedup and skips on machines with fewer than ``WORKERS`` CPUs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import common
+from repro.core.clstm import CLSTM
+from repro.core.detector import AnomalyDetector
+from repro.serving import (
+    ModelRegistry,
+    ParallelExecutor,
+    ProcessParallelExecutor,
+    ShardedScoringService,
+)
+from repro.utils.config import DetectionConfig, ModelConfig, ServingConfig
+
+WORKERS = 4
+SHARDS = 4
+STREAMS_PER_SHARD = 4
+SEGMENTS = 220
+SEQUENCE_LENGTH = 9
+MAX_BATCH_SIZE = 36  # STREAMS_PER_SHARD divides it: all shards fill together
+REQUIRED_SPEEDUP = 1.5
+
+# GIL-heavy scale: the per-timestep GEMMs are tiny, so each batch is
+# dominated by the Python recurrence loop and the scoring glue — worker
+# threads serialise on the GIL here, worker processes do not.
+MODEL = ModelConfig(
+    action_dim=32, interaction_dim=8, action_hidden=24, interaction_hidden=8
+)
+
+
+def _registry() -> ModelRegistry:
+    model = CLSTM.from_config(MODEL, seed=7)
+    detector = AnomalyDetector(model, DetectionConfig(omega=0.8, threshold=1.0))
+    return ModelRegistry.from_detector(detector)
+
+
+def _streams():
+    """``SHARDS * STREAMS_PER_SHARD`` synthetic feature streams, keyed by shard."""
+    rng = np.random.default_rng(11)
+    streams = {}
+    for shard in range(SHARDS):
+        for index in range(STREAMS_PER_SHARD):
+            action = rng.random((SEGMENTS, MODEL.action_dim)) + 1e-3
+            action /= action.sum(axis=1, keepdims=True)
+            interaction = rng.random((SEGMENTS, MODEL.interaction_dim))
+            streams[f"shard{shard}-stream{index}"] = (action, interaction)
+    return streams
+
+
+def _replay(registry: ModelRegistry, executor, streams) -> tuple:
+    """Drive the full workload; return (wall_seconds, detections)."""
+    service = ShardedScoringService(
+        registry,
+        config=ServingConfig(max_batch_size=MAX_BATCH_SIZE, num_shards=SHARDS),
+        sequence_length=SEQUENCE_LENGTH,
+        router=lambda stream_id: int(stream_id.split("-")[0][len("shard"):]),
+        executor=executor,
+    )
+    started = time.perf_counter()
+    for position in range(SEGMENTS):
+        detections_tick = service.submit_many(
+            (stream_id, action[position], interaction[position])
+            for stream_id, (action, interaction) in streams.items()
+        )
+        del detections_tick  # collected per stream below, in a stable order
+    service.drain()
+    elapsed = time.perf_counter() - started
+    detections = {
+        stream_id: list(service.detections(stream_id)) for stream_id in streams
+    }
+    service.close()
+    return elapsed, detections
+
+
+def run_experiment():
+    registry = _registry()
+    streams = _streams()
+    expected_per_stream = SEGMENTS - SEQUENCE_LENGTH
+
+    thread_seconds, thread_detections = _replay(
+        registry, ParallelExecutor(workers=WORKERS), streams
+    )
+    process_seconds, process_detections = _replay(
+        registry, ProcessParallelExecutor(workers=WORKERS), streams
+    )
+    speedup = thread_seconds / process_seconds
+
+    total = len(streams) * expected_per_stream
+    common.table(
+        "process_serving_throughput",
+        ["executor", "wall s", "segments/s"],
+        [
+            [
+                f"threads ({WORKERS} workers)",
+                f"{thread_seconds:.2f}",
+                f"{total / thread_seconds:.0f}",
+            ],
+            [
+                f"processes ({WORKERS} workers)",
+                f"{process_seconds:.2f}",
+                f"{total / process_seconds:.0f}",
+            ],
+            ["speed-up", f"{speedup:.2f}x", ""],
+        ],
+        title=(
+            f"Process-parallel serving — {SHARDS} shards, {len(streams)} streams, "
+            f"{total} segments, batch {MAX_BATCH_SIZE}, GIL-heavy model "
+            f"({MODEL.action_dim}/{MODEL.action_hidden})"
+        ),
+    )
+    return {
+        "expected_per_stream": expected_per_stream,
+        "thread_detections": thread_detections,
+        "process_detections": process_detections,
+        "thread_seconds": thread_seconds,
+        "process_seconds": process_seconds,
+        "speedup": speedup,
+    }
+
+
+def test_process_serving_throughput(benchmark):
+    cores = os.cpu_count() or 1
+    if cores < WORKERS:
+        pytest.skip(
+            f"wall-clock speedup needs >= {WORKERS} cores, machine has {cores}"
+        )
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for stream_id, ours in results["process_detections"].items():
+        reference = results["thread_detections"][stream_id]
+        assert len(ours) == len(reference) == results["expected_per_stream"]
+        assert ours == reference, f"process run diverged on {stream_id}"
+    assert results["speedup"] >= REQUIRED_SPEEDUP, (
+        f"process executor reached only {results['speedup']:.2f}x over worker "
+        f"threads at {WORKERS} workers (required: {REQUIRED_SPEEDUP}x)"
+    )

@@ -58,6 +58,9 @@ from .serving import (
     ModelRegistry,
     ModelSnapshot,
     ParallelExecutor,
+    ProcessParallelExecutor,
+    RebalanceDecision,
+    Rebalancer,
     ScoringService,
     SerialExecutor,
     ShardedScoringService,
@@ -73,6 +76,7 @@ from .utils import (
     ModelConfig,
     ServerConfig,
     ServingConfig,
+    ShardingConfig,
     StreamProtocol,
     TrainingConfig,
     UpdateConfig,
@@ -112,6 +116,9 @@ __all__ = [
     "ModelRegistry",
     "ModelSnapshot",
     "ParallelExecutor",
+    "ProcessParallelExecutor",
+    "RebalanceDecision",
+    "Rebalancer",
     "ScoringService",
     "SerialExecutor",
     "ShardedScoringService",
@@ -129,6 +136,7 @@ __all__ = [
     "ModelConfig",
     "ServerConfig",
     "ServingConfig",
+    "ShardingConfig",
     "StreamProtocol",
     "TrainingConfig",
     "UpdateConfig",

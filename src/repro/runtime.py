@@ -34,7 +34,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
@@ -56,6 +56,7 @@ from .serving.service import (
     UpdateTrigger,
     replay_streams,
 )
+from .serving.rebalance import Rebalancer
 from .serving.sharding import ShardedScoringService
 from .utils.config import (
     _NESTED_CONFIGS,
@@ -65,6 +66,7 @@ from .utils.config import (
     ModelConfig,
     ServerConfig,
     ServingConfig,
+    ShardingConfig,
     TrainingConfig,
     UpdateConfig,
 )
@@ -114,6 +116,13 @@ class RuntimeConfig(ConfigBase):
     server: ServerConfig = ServerConfig()
     """HTTP ingest tier parameters consumed by :meth:`Runtime.serve`
     (bind address, admission-control queue bound, batch/long-poll knobs)."""
+
+    sharding: ShardingConfig = ShardingConfig()
+    """Load-rebalancing policy over the shard set.  ``rebalance=True``
+    attaches a :class:`~repro.serving.rebalance.Rebalancer` that diverts
+    *new* streams away from hot shards and splits/merges shards under the
+    configured queue-depth thresholds; the default keeps pure pinned
+    CRC-32 routing, bit-for-bit the pre-rebalancer behaviour."""
 
     sequence_length: int = 9
     """History length q of the CLSTM input sequences."""
@@ -255,11 +264,26 @@ class Runtime:
         self._build_service(historical_hidden=historical)
         return self
 
-    def _build_service(self, historical_hidden: Optional[np.ndarray]) -> None:
+    def _build_service(
+        self,
+        historical_hidden: Optional[np.ndarray],
+        num_shards: Optional[int] = None,
+    ) -> None:
         config = self.config
+        serving = config.serving
+        if num_shards is not None and num_shards != serving.num_shards:
+            # Restoring a checkpoint taken after rebalancer splits: the live
+            # topology (not the configured base count) is what the routes
+            # and per-shard states were written against.
+            serving = replace(serving, num_shards=int(num_shards))
+        rebalancer = (
+            Rebalancer(config.sharding, clock=self._clock)
+            if config.sharding.rebalance
+            else None
+        )
         self.service = ShardedScoringService(
             self.registry,
-            config=config.serving,
+            config=serving,
             sequence_length=config.sequence_length,
             update_config=config.update if config.enable_updates else None,
             attach_update_planes=config.enable_updates,
@@ -269,6 +293,7 @@ class Runtime:
             clock=self._clock,
             executor=build_executor(config.executor),
             background_updates=config.executor.background_updates and config.enable_updates,
+            rebalancer=rebalancer,
         )
 
     # ------------------------------------------------------------------ #
@@ -437,6 +462,16 @@ class Runtime:
         self._require_serving_built()
         return self.service.load_stats()
 
+    def executor_stats(self) -> Dict[str, Any]:
+        """JSON-safe executor introspection (shared segments, workers...)."""
+        self._require_serving_built()
+        return self.service.executor_stats()
+
+    def rebalance_stats(self) -> Dict[str, Any]:
+        """JSON-safe rebalancing summary (decision log, retired shards)."""
+        self._require_serving_built()
+        return self.service.rebalance_stats()
+
     @property
     def update_triggers(self) -> List[UpdateTrigger]:
         """Every drift trigger emitted since fit/restore."""
@@ -537,6 +572,9 @@ class Runtime:
             "published": versions[-1]["version"],
             "versions": versions,
             "pending_updates": sum(len(jobs) for jobs in state["plane_pending"]),
+            # Live shard count (may exceed config.serving.num_shards after
+            # rebalancer splits); from_checkpoint rebuilds this topology.
+            "num_shards": len(self.service.shards),
         }
         (directory / _MANIFEST_FILE).write_text(
             json.dumps(manifest, indent=2), encoding="utf-8"
@@ -600,7 +638,9 @@ class Runtime:
                 f"{registry.highest_published}"
             )
         runtime.registry = registry
-        runtime._build_service(historical_hidden=None)
+        runtime._build_service(
+            historical_hidden=None, num_shards=manifest.get("num_shards")
+        )
 
         arrays, metadata = load_state(directory / _STATE_FILE)
         runtime.service.restore_state(_unpack(metadata["state"], arrays))

@@ -375,9 +375,14 @@ class RuntimeServer:
                         "mean_batch_size": shard.mean_batch_size,
                         "batch_occupancy": shard.batch_occupancy,
                         "mean_batch_latency_ms": shard.mean_batch_latency_ms,
+                        "latency_p50_ms": shard.latency_p50_ms,
+                        "latency_p95_ms": shard.latency_p95_ms,
+                        "latency_p99_ms": shard.latency_p99_ms,
                         "throughput": shard.throughput,
                     }
                     for shard in runtime.load_stats()
                 ],
+                "executor": runtime.executor_stats(),
+                "rebalance": runtime.rebalance_stats(),
             }
         return {"admission": self.admission.stats(), "tenants": tenants}

@@ -20,7 +20,12 @@ runtime:
   batches out to a worker-thread pool (NumPy's BLAS kernels release the GIL)
   and the :class:`BackgroundUpdatePlane` moves retrains onto a maintenance
   thread, while the default :class:`SerialExecutor` stays bit-for-bit
-  identical to the single-threaded runtime.
+  identical to the single-threaded runtime;
+* the :class:`ProcessParallelExecutor` scales past the GIL entirely: shard
+  batches score in persistent worker *processes* over zero-copy
+  shared-memory snapshot segments, and the :class:`Rebalancer` consumes the
+  :class:`ShardStats` load signal to divert new streams away from hot
+  shards and split/merge shards deterministically.
 """
 
 from .executor import (
@@ -31,8 +36,11 @@ from .executor import (
 )
 from .maintenance import UpdatePlane, UpdateReport
 from .microbatch import MicroBatcher, QueueFull, ScoreRequest
+from .procpool import ProcessParallelExecutor, WorkerCrashed
+from .rebalance import RebalanceDecision, Rebalancer
 from .registry import ModelRegistry, ModelSnapshot, RegistryHandle
 from .service import (
+    BatchScores,
     ManualClock,
     ScoringService,
     ServiceStats,
@@ -47,12 +55,16 @@ from .sharding import ShardedScoringService, default_router
 
 __all__ = [
     "BackgroundUpdatePlane",
+    "BatchScores",
     "ManualClock",
     "MicroBatcher",
     "ModelRegistry",
     "ModelSnapshot",
     "ParallelExecutor",
+    "ProcessParallelExecutor",
     "QueueFull",
+    "RebalanceDecision",
+    "Rebalancer",
     "RegistryHandle",
     "ScoreRequest",
     "ScoringService",
@@ -65,6 +77,7 @@ __all__ = [
     "UpdatePlane",
     "UpdateReport",
     "UpdateTrigger",
+    "WorkerCrashed",
     "build_executor",
     "default_router",
     "replay_streams",

@@ -66,6 +66,7 @@ __all__ = [
     "UpdateTrigger",
     "ServiceStats",
     "ShardStats",
+    "BatchScores",
     "StreamSession",
     "ManualClock",
     "ScoringService",
@@ -205,6 +206,17 @@ class ShardStats:
     scoring_seconds: float
     max_batch_size: int
 
+    latency_p50_ms: float = 0.0
+    """Median flush-to-score latency (oldest queued arrival → batch scored,
+    milliseconds) over the shard's bounded latency reservoir."""
+
+    latency_p95_ms: float = 0.0
+    """95th-percentile flush-to-score latency over the reservoir."""
+
+    latency_p99_ms: float = 0.0
+    """99th-percentile flush-to-score latency over the reservoir — the tail
+    signal a rebalancer (and an operator) needs beyond means."""
+
     @property
     def mean_batch_size(self) -> float:
         return self.segments_scored / self.batches if self.batches else 0.0
@@ -225,6 +237,29 @@ class ShardStats:
         if self.scoring_seconds <= 0.0:
             return 0.0
         return self.segments_scored / self.scoring_seconds
+
+
+@dataclass(frozen=True)
+class BatchScores:
+    """Result of one micro-batch's compute kernel (forward + REIA scoring).
+
+    This is the seam the process-parallel executor plugs into: everything in
+    :meth:`ScoringService._score_requests` *except* the fused forward and
+    :meth:`~repro.core.detector.AnomalyDetector.score_predictions` —
+    snapshot pinning, batch assembly, detection routing, drift monitoring —
+    stays in the calling process; the kernel itself may run locally or in a
+    worker interpreter over a shared-memory snapshot, returning exactly
+    these arrays either way.
+    """
+
+    scores: np.ndarray
+    action_errors: np.ndarray
+    interaction_errors: np.ndarray
+    is_anomaly: np.ndarray
+    threshold: float
+    hidden: np.ndarray
+    """Final ``LSTM_I`` hidden states, ``(batch, h1)`` — the drift monitor
+    consumes these in the parent regardless of where the forward ran."""
 
 
 class StreamSession:
@@ -342,11 +377,14 @@ class ScoringService:
         max_batch_delay_ms: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
         max_queue_depth: Optional[int] = None,
+        latency_reservoir: int = 512,
     ) -> None:
         if sequence_length < 1:
             raise ValueError("sequence_length must be positive")
         if max_history is not None and max_history < 1:
             raise ValueError("max_history must be positive when set")
+        if latency_reservoir < 1:
+            raise ValueError("latency_reservoir must be positive")
         # Lock order is always scoring → ingest (see the module docstring).
         # The scoring lock serialises whole batch pipelines; the ingest lock
         # is held only for per-segment queue/session bookkeeping, so ingest
@@ -397,6 +435,16 @@ class ScoringService:
         # Running mean of observed interaction levels (O(1) per segment).
         self._level_sum = 0.0
         self._level_count = 0
+        # Bounded flush-to-score latency reservoir (ms); feeds the
+        # p50/p95/p99 fields of load_stats().  Mutated only under the
+        # scoring lock, read under both locks by load_stats.
+        self._latencies: Deque[float] = deque(maxlen=latency_reservoir)
+        # Pluggable compute kernel: when set (by the process-parallel
+        # executor's bind), _score_requests ships each assembled batch to
+        # it — (snapshot, sequences..., targets..., indices) -> BatchScores
+        # — instead of running the fused forward locally.  Everything else
+        # (pinning, routing, drift, checkpoints) is unaffected.
+        self.remote_compute: Optional[Callable[..., BatchScores]] = None
 
     @property
     def update_plane(self) -> Optional["UpdatePlane"]:
@@ -453,10 +501,25 @@ class ScoringService:
     def reset_stats(self) -> None:
         with self._score_lock:
             self.stats = ServiceStats()
+            self._latencies.clear()
+
+    def queue_depth(self) -> int:
+        """Requests waiting in the micro-batcher right now (thread-safe).
+
+        The cheap load probe the rebalancer polls per routing decision —
+        only the ingest lock is taken, so it never waits behind a forward.
+        """
+        with self._ingest_lock:
+            return len(self.batcher)
 
     def load_stats(self, shard_index: int = 0) -> "ShardStats":
         """One consistent :class:`ShardStats` sample of this service."""
         with self._score_lock, self._ingest_lock:
+            if self._latencies:
+                samples = np.fromiter(self._latencies, dtype=np.float64)
+                p50, p95, p99 = np.percentile(samples, [50.0, 95.0, 99.0])
+            else:
+                p50 = p95 = p99 = 0.0
             return ShardStats(
                 shard_index=shard_index,
                 streams=len(self.sessions),
@@ -465,6 +528,9 @@ class ScoringService:
                 batches=self.stats.batches,
                 scoring_seconds=self.stats.scoring_seconds,
                 max_batch_size=self.batcher.max_batch_size,
+                latency_p50_ms=float(p50),
+                latency_p95_ms=float(p95),
+                latency_p99_ms=float(p99),
             )
 
     # ------------------------------------------------------------------ #
@@ -479,7 +545,10 @@ class ScoringService:
     ) -> Optional[float]:
         """Window + queue one segment; return its arrival stamp (no scoring)."""
         level = validate_interaction_level(interaction_level)
-        now = self._clock() if self.max_batch_delay_ms is not None else None
+        # Always stamp arrivals: deadline-less services still need them for
+        # the flush-to-score latency percentiles (expired() stays inert
+        # without a max_delay_seconds, so deadline behaviour is unchanged).
+        now = self._clock()
         with self._ingest_lock:
             request = self.session(stream_id).make_request(
                 action_feature, interaction_feature, level
@@ -521,10 +590,11 @@ class ScoringService:
         while True:
             with self._ingest_lock:
                 flushable = self.batcher.ready() or self.batcher.expired(self._clock())
+                arrival = self.batcher.oldest_arrival()
                 requests = self.batcher.drain() if flushable else []
             if not requests:
                 return produced
-            produced.extend(self._score_requests(requests))
+            produced.extend(self._score_requests(requests, batch_arrival=arrival))
 
     def submit(
         self,
@@ -550,15 +620,16 @@ class ScoringService:
             produced: List[StreamDetection] = []
             while True:
                 with self._ingest_lock:
+                    arrival = self.batcher.oldest_arrival()
                     requests = self.batcher.drain() if self.batcher.ready() else []
                 if not requests:
                     break
-                produced.extend(self._score_requests(requests))
-            if now is not None:
-                with self._ingest_lock:
-                    requests = self.batcher.drain() if self.batcher.expired(now) else []
-                if requests:
-                    produced.extend(self._score_requests(requests))
+                produced.extend(self._score_requests(requests, batch_arrival=arrival))
+            with self._ingest_lock:
+                arrival = self.batcher.oldest_arrival()
+                requests = self.batcher.drain() if self.batcher.expired(now) else []
+            if requests:
+                produced.extend(self._score_requests(requests, batch_arrival=arrival))
             return produced
 
     def poll(self) -> List[StreamDetection]:
@@ -592,10 +663,11 @@ class ScoringService:
             produced: List[StreamDetection] = []
             while True:
                 with self._ingest_lock:
+                    arrival = self.batcher.oldest_arrival()
                     requests = self.batcher.drain()
                 if not requests:
                     return produced
-                produced.extend(self._score_requests(requests))
+                produced.extend(self._score_requests(requests, batch_arrival=arrival))
 
     def drain(self) -> List[StreamDetection]:
         """Terminal flush: honour expired deadlines first, then score the rest.
@@ -617,7 +689,11 @@ class ScoringService:
     # ------------------------------------------------------------------ #
     # Scoring core
     # ------------------------------------------------------------------ #
-    def _score_requests(self, requests: List[ScoreRequest]) -> List[StreamDetection]:
+    def _score_requests(
+        self,
+        requests: List[ScoreRequest],
+        batch_arrival: Optional[float] = None,
+    ) -> List[StreamDetection]:
         if not requests:
             return []
         started = time.perf_counter()
@@ -633,35 +709,58 @@ class ScoringService:
             interaction_targets,
             segment_indices,
         ) = MicroBatcher.assemble(requests)
-        predicted_action, predicted_interaction, hidden, _ = snapshot.model.predict_full(
-            action_sequences, interaction_sequences
-        )
-        result = snapshot.detector.score_predictions(
-            segment_indices,
-            action_targets,
-            interaction_targets,
-            predicted_action,
-            predicted_interaction,
-        )
+        if self.remote_compute is not None:
+            batch = self.remote_compute(
+                snapshot,
+                action_sequences,
+                interaction_sequences,
+                action_targets,
+                interaction_targets,
+                segment_indices,
+            )
+        else:
+            predicted_action, predicted_interaction, hidden, _ = snapshot.model.predict_full(
+                action_sequences, interaction_sequences
+            )
+            result = snapshot.detector.score_predictions(
+                segment_indices,
+                action_targets,
+                interaction_targets,
+                predicted_action,
+                predicted_interaction,
+            )
+            batch = BatchScores(
+                scores=result.scores,
+                action_errors=result.action_errors,
+                interaction_errors=result.interaction_errors,
+                is_anomaly=result.is_anomaly,
+                threshold=float(result.threshold),
+                hidden=hidden,
+            )
         self.stats.scoring_seconds += time.perf_counter() - started
         self.stats.segments_scored += len(requests)
         self.stats.batches += 1
+        if batch_arrival is not None:
+            # Flush-to-score latency: oldest queued arrival of this batch to
+            # now, in ms.  Clamped at zero for ManualClock-driven replays
+            # that never advance time.
+            self._latencies.append(max(0.0, (self._clock() - batch_arrival) * 1000.0))
 
         detections: List[StreamDetection] = []
         for position, request in enumerate(requests):
             detection = StreamDetection(
                 stream_id=request.stream_id,
                 segment_index=request.segment_index,
-                score=float(result.scores[position]),
-                action_error=float(result.action_errors[position]),
-                interaction_error=float(result.interaction_errors[position]),
-                is_anomaly=bool(result.is_anomaly[position]),
-                threshold=float(result.threshold),
+                score=float(batch.scores[position]),
+                action_error=float(batch.action_errors[position]),
+                interaction_error=float(batch.interaction_errors[position]),
+                is_anomaly=bool(batch.is_anomaly[position]),
+                threshold=float(batch.threshold),
                 model_version=snapshot.version,
             )
             detections.append(detection)
             self.session(request.stream_id).detections.append(detection)
-        self._observe_hidden(requests, hidden, snapshot.version)
+        self._observe_hidden(requests, batch.hidden, snapshot.version)
         return detections
 
     # ------------------------------------------------------------------ #
@@ -764,6 +863,37 @@ class ScoringService:
             self._buffer_requests.clear()
 
     # ------------------------------------------------------------------ #
+    # Session handoff (shard merge)
+    # ------------------------------------------------------------------ #
+    def evict_sessions(self) -> Dict[str, StreamSession]:
+        """Hand every session (windows, history, detections) to the caller.
+
+        The donor half of a shard-merge handoff: the returned sessions are
+        removed from this service and must be re-homed via another shard's
+        :meth:`adopt_sessions`.  Refuses while requests are still queued —
+        a merge only retires a shard whose queue has drained, so in-flight
+        work can never be separated from its session.
+        """
+        with self._score_lock, self._ingest_lock:
+            if len(self.batcher):
+                raise RuntimeError(
+                    "cannot evict sessions while requests are queued; "
+                    "drain the shard first"
+                )
+            sessions, self.sessions = self.sessions, {}
+            return sessions
+
+    def adopt_sessions(self, sessions: Mapping[str, StreamSession]) -> None:
+        """Adopt sessions evicted from another shard (merge handoff)."""
+        with self._ingest_lock:
+            duplicates = set(sessions) & set(self.sessions)
+            if duplicates:
+                raise ValueError(
+                    f"streams already have sessions here: {sorted(duplicates)[:5]}"
+                )
+            self.sessions.update(sessions)
+
+    # ------------------------------------------------------------------ #
     # Durable state (checkpoint/restore)
     # ------------------------------------------------------------------ #
     def export_state(self) -> Dict[str, object]:
@@ -831,7 +961,7 @@ class ScoringService:
             self._buffer_requests = [_request_from_state(payload) for payload in buffered]
         self._level_sum = float(state["level_sum"])
         self._level_count = int(state["level_count"])
-        now = self._clock() if self.max_batch_delay_ms is not None else None
+        now = self._clock()
         for payload in state["pending"]:
             self.batcher.submit(_request_from_state(payload), now=now)
 

@@ -40,7 +40,19 @@ from __future__ import annotations
 
 import threading
 import zlib
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -57,6 +69,9 @@ from .service import (
     _request_from_state,
     _request_state,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoid import cycle)
+    from .rebalance import Rebalancer
 
 __all__ = ["default_router", "ShardedScoringService"]
 
@@ -161,6 +176,7 @@ class ShardedScoringService:
         clock: Optional[Callable[[], float]] = None,
         executor: Optional[Union[SerialExecutor, ParallelExecutor]] = None,
         background_updates: bool = False,
+        rebalancer: Optional["Rebalancer"] = None,
     ) -> None:
         config = config if config is not None else ServingConfig()
         if isinstance(registries, ModelRegistry):
@@ -207,14 +223,45 @@ class ShardedScoringService:
                     max_batch_delay_ms=config.max_batch_delay_ms,
                     clock=clock,
                     max_queue_depth=config.max_queue_depth,
+                    latency_reservoir=config.latency_reservoir,
                 )
             )
+        self._planes = planes
+        # Construction recipe for rebalancer-driven shard splits: a fresh
+        # shard over an existing registry must match its siblings exactly.
+        self._shard_kwargs: Dict[str, object] = {
+            "sequence_length": sequence_length,
+            "max_batch_size": config.max_batch_size,
+            "update_config": update_config,
+            "historical_hidden": historical_hidden,
+            "on_update_trigger": on_update_trigger,
+            "max_history": max_history,
+            "max_batch_delay_ms": config.max_batch_delay_ms,
+            "clock": clock,
+            "max_queue_depth": config.max_queue_depth,
+            "latency_reservoir": config.latency_reservoir,
+        }
         self._router = router if router is not None else (
             lambda stream_id: default_router(stream_id, len(self.shards))
         )
         self._routes: Dict[str, int] = {}
         # Guards the route table only; shards have their own internal locks.
         self._routes_lock = threading.Lock()
+        # Shards retired by a merge: never routed to again, kept in the list
+        # so historical shard indices (detections, stats, checkpoints) stay
+        # stable.  The merge-eligibility floor is the construction-time shard
+        # count — only split-created shards may be merged away.
+        self._retired: set = set()
+        self._base_shards = len(self.shards)
+        self.rebalancer = rebalancer
+        if rebalancer is not None:
+            rebalancer.bind(self)
+        # Executors that manage per-shard resources (the process pool's
+        # shared-memory workers) learn the shard set here and extend it via
+        # notify_shard_added when a split lands.
+        bind = getattr(self.executor, "bind", None)
+        if callable(bind):
+            bind(self)
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -223,8 +270,19 @@ class ShardedScoringService:
     def num_shards(self) -> int:
         return len(self.shards)
 
+    @property
+    def retired_shards(self) -> FrozenSet[int]:
+        """Indices of shards retired by a merge (never routed to again)."""
+        return frozenset(self._retired)
+
     def shard_index(self, stream_id: str) -> int:
-        """The (pinned) shard index owning ``stream_id`` (thread-safe)."""
+        """The (pinned) shard index owning ``stream_id`` (thread-safe).
+
+        A stream seen for the first time is routed by the router and — when
+        a rebalancer is attached — possibly diverted away from a retired or
+        hot shard before the route is pinned.  Pinned routes only ever
+        change through an explicit merge handoff.
+        """
         with self._routes_lock:
             index = self._routes.get(stream_id)
             if index is None:
@@ -234,12 +292,58 @@ class ShardedScoringService:
                         f"router assigned stream '{stream_id}' to shard {index}; "
                         f"valid range is [0, {len(self.shards)})"
                     )
+                if self.rebalancer is not None:
+                    index = self.rebalancer.route(stream_id, index)
                 self._routes[stream_id] = index
             return index
 
     def shard_of(self, stream_id: str) -> ScoringService:
         """The shard service owning ``stream_id``."""
         return self.shards[self.shard_index(stream_id)]
+
+    # ------------------------------------------------------------------ #
+    # Topology primitives (rebalancer-driven; caller holds _routes_lock)
+    # ------------------------------------------------------------------ #
+    def _spawn_shard_locked(self, source_index: int) -> int:
+        """Append a fresh shard over ``source_index``'s registry; return it.
+
+        The new shard matches its siblings exactly (same construction
+        recipe, same update plane when one is attached) and starts empty —
+        so it is the least-loaded shard by construction and new streams
+        drift to it through the rebalancer's hot-shard diversion.  Existing
+        streams keep their pinned routes.
+        """
+        registry = self.shards[source_index].registry
+        plane = self._planes.get(id(registry))
+        shard = ScoringService(
+            registry=registry, update_plane=plane, **self._shard_kwargs
+        )
+        self.shards.append(shard)
+        index = len(self.shards) - 1
+        notify = getattr(self.executor, "notify_shard_added", None)
+        if callable(notify):
+            notify(shard, index)
+        return index
+
+    def _merge_shard_locked(self, source_index: int, target_index: int) -> None:
+        """Retire ``source_index``, handing its sessions to ``target_index``.
+
+        The explicit route handoff: sessions (rolling windows, detection
+        history and all) move in one step, every pinned route is re-pinned
+        to the survivor, and the source joins the retired set.  Requires the
+        source's queue to be empty (``evict_sessions`` enforces it) and
+        routing quiescence — see :mod:`repro.serving.rebalance`.
+        """
+        if source_index == target_index:
+            raise ValueError("cannot merge a shard into itself")
+        if target_index in self._retired:
+            raise ValueError(f"merge target shard {target_index} is retired")
+        sessions = self.shards[source_index].evict_sessions()
+        self.shards[target_index].adopt_sessions(sessions)
+        for stream_id, index in self._routes.items():
+            if index == source_index:
+                self._routes[stream_id] = target_index
+        self._retired.add(source_index)
 
     # ------------------------------------------------------------------ #
     # Ingest (same surface as ScoringService, so replay drivers compose)
@@ -308,7 +412,14 @@ class ShardedScoringService:
         return [detection for result in results for detection in result]
 
     def poll(self) -> List[StreamDetection]:
-        """Run deadline flushes on every shard (fanned out when parallel)."""
+        """Run deadline flushes on every shard (fanned out when parallel).
+
+        When a rebalancer is attached, each poll opens with one rebalance
+        round (at most one split and one merge) before any scoring — the
+        topology is stable for the rest of the tick.
+        """
+        if self.rebalancer is not None:
+            self.rebalancer.maybe_rebalance()
         results = self.executor.map([shard.poll for shard in self.shards])
         return [detection for result in results for detection in result]
 
@@ -371,6 +482,32 @@ class ShardedScoringService:
     def reset_stats(self) -> None:
         for shard in self.shards:
             shard.reset_stats()
+
+    def executor_stats(self) -> Dict[str, object]:
+        """JSON-safe executor introspection (segments, workers, zero-copy).
+
+        Executors with real resources (the process pool) report their full
+        stats dict; the thread/serial executors report mode and width.
+        """
+        stats = getattr(self.executor, "stats", None)
+        if callable(stats):
+            return stats()
+        return {
+            "mode": "serial" if self.executor.serial else "thread",
+            "workers": self.executor.workers,
+        }
+
+    def rebalance_stats(self) -> Dict[str, object]:
+        """JSON-safe rebalancing summary (decision log tail, retired set)."""
+        rebalancer = self.rebalancer
+        decisions = rebalancer.decisions if rebalancer is not None else []
+        return {
+            "enabled": rebalancer is not None and rebalancer.config.rebalance,
+            "decisions": len(decisions),
+            "recent": [decision.to_dict() for decision in decisions[-20:]],
+            "retired_shards": sorted(self._retired),
+            "shards": len(self.shards),
+        }
 
     @property
     def update_triggers(self) -> List[UpdateTrigger]:
@@ -462,6 +599,8 @@ class ShardedScoringService:
         """
         return {
             "routes": dict(self._routes),
+            "num_shards": len(self.shards),
+            "retired": sorted(self._retired),
             "shards": [shard.export_state() for shard in self.shards],
             "plane_updates": [plane.updates_performed for plane in self._distinct_planes()],
             "plane_pending": [
@@ -491,6 +630,10 @@ class ShardedScoringService:
                     f"valid range is [0, {len(self.shards)})"
                 )
             self._routes[str(stream_id)] = index
+        # Retired shards survive the checkpoint (their indices must stay
+        # routable-away-from); merge eligibility resets, though — the
+        # restored topology becomes the new base shard count.
+        self._retired = {int(index) for index in state.get("retired") or []}
         for shard, shard_state in zip(self.shards, shard_states):
             shard.restore_state(shard_state)
         planes = self._distinct_planes()

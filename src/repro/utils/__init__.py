@@ -8,6 +8,7 @@ from .config import (
     DetectionConfig,
     ServingConfig,
     ExecutorConfig,
+    ShardingConfig,
     UpdateConfig,
     ServerConfig,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "DetectionConfig",
     "ServingConfig",
     "ExecutorConfig",
+    "ShardingConfig",
     "UpdateConfig",
     "ServerConfig",
     "make_rng",

@@ -90,6 +90,7 @@ _FIELD_TYPES: Dict[str, tuple] = {
     "bool": (bool,),
     "int | None": (int, type(None)),
     "float | None": (int, float, type(None)),
+    "str | None": (str, type(None)),
 }
 
 
@@ -290,6 +291,13 @@ class ServingConfig(ConfigBase):
     scorer surfaces as backpressure instead of unbounded memory growth.
     ``None`` keeps the historical unbounded queue."""
 
+    latency_reservoir: int = 512
+    """Size of each shard's bounded flush-to-score latency reservoir: the most
+    recent ``latency_reservoir`` per-batch latencies (oldest queued arrival →
+    scored, in milliseconds) back the p50/p95/p99 percentiles that
+    :meth:`~repro.serving.service.ScoringService.load_stats` and the HTTP
+    ``/stats`` endpoint report."""
+
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError(f"max_batch_size must be positive, got {self.max_batch_size}")
@@ -303,6 +311,10 @@ class ServingConfig(ConfigBase):
             raise ValueError(
                 f"max_queue_depth must be at least max_batch_size "
                 f"({self.max_batch_size}) when set, got {self.max_queue_depth}"
+            )
+        if self.latency_reservoir < 1:
+            raise ValueError(
+                f"latency_reservoir must be positive, got {self.latency_reservoir}"
             )
 
 
@@ -319,13 +331,15 @@ class ExecutorConfig(ConfigBase):
     """
 
     mode: str = "auto"
-    """``"serial"``, ``"parallel"``, or ``"auto"`` — auto resolves from the
-    ``REPRO_EXECUTOR`` environment variable (unset → serial), which is how CI
-    runs the whole fast suite once under the parallel executor."""
+    """``"serial"``, ``"parallel"``, ``"process"``, or ``"auto"`` — auto
+    resolves from the ``REPRO_EXECUTOR`` environment variable (unset →
+    serial), which is how CI runs the whole fast suite once under each
+    concurrent executor."""
 
     workers: int | None = None
-    """Worker-thread pool size for ``mode="parallel"``; ``None`` derives it
-    from the CPU count.  ``workers=1`` is bitwise-identical to serial."""
+    """Worker pool size for ``mode="parallel"`` (threads) and
+    ``mode="process"`` (interpreters); ``None`` derives it from the CPU
+    count.  ``workers=1`` is bitwise-identical to serial in both modes."""
 
     background_updates: bool = False
     """Run incremental retrains on a maintenance thread instead of inside the
@@ -333,15 +347,30 @@ class ExecutorConfig(ConfigBase):
     retrain runs, and the publish lands at a later micro-batch boundary.
     Trades the serial path's deterministic swap timing for latency isolation."""
 
+    start_method: str | None = None
+    """``multiprocessing`` start method for ``mode="process"`` workers —
+    ``"fork"``, ``"spawn"``, or ``"forkserver"``; ``None`` picks ``fork``
+    where available (cheap, inherits the parent's imports) and falls back to
+    the platform default elsewhere.  Ignored by the thread and serial modes."""
+
     def __post_init__(self) -> None:
-        if self.mode not in ("auto", "serial", "parallel"):
+        if self.mode not in ("auto", "serial", "parallel", "process"):
             raise ValueError(
-                f"ExecutorConfig.mode must be 'auto', 'serial' or 'parallel', "
-                f"got {self.mode!r}"
+                f"ExecutorConfig.mode must be 'auto', 'serial', 'parallel' or "
+                f"'process', got {self.mode!r}"
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(
                 f"ExecutorConfig.workers must be positive when set, got {self.workers}"
+            )
+        if self.start_method is not None and self.start_method not in (
+            "fork",
+            "spawn",
+            "forkserver",
+        ):
+            raise ValueError(
+                f"ExecutorConfig.start_method must be 'fork', 'spawn' or "
+                f"'forkserver' when set, got {self.start_method!r}"
             )
 
 
@@ -457,7 +486,77 @@ class ServerConfig(ConfigBase):
             )
 
 
-__all__ += ["ServingConfig", "ExecutorConfig", "UpdateConfig", "ServerConfig"]
+@dataclass(frozen=True)
+class ShardingConfig(ConfigBase):
+    """Load-aware shard routing and topology policy (:mod:`repro.serving.rebalance`).
+
+    By default streams stay pinned to the CRC-32 shard they hash to for their
+    whole life.  Enabling ``rebalance`` puts a
+    :class:`~repro.serving.rebalance.Rebalancer` between the hash and the
+    route table: *new* streams are diverted away from hot shards, and shards
+    may be deterministically split under sustained backlog and merged back
+    once the split shard drains.  Existing streams never move mid-flight —
+    per-stream ordering is preserved; only the route a stream gets *at first
+    sight* (and the explicit whole-session handoff of a merge) ever changes.
+    """
+
+    rebalance: bool = False
+    """Master switch.  ``False`` keeps pure CRC-32 routing and a fixed shard
+    topology — bitwise-identical to every pre-rebalancer release."""
+
+    hot_queue_factor: float = 2.0
+    """A shard counts as hot for new-stream diversion when its queue depth is
+    at least ``hot_queue_factor`` times the mean depth across active shards
+    (and also at least ``min_hot_depth``)."""
+
+    min_hot_depth: int = 8
+    """Absolute queue-depth floor below which a shard is never considered hot,
+    so tiny workloads don't jitter routes over one-request imbalances."""
+
+    split_queue_depth: int | None = None
+    """Queue depth at which the deepest shard is split (a fresh shard is added
+    and new streams start routing to it).  ``None`` disables splitting."""
+
+    max_shards: int = 8
+    """Upper bound on the shard count splits may grow the service to."""
+
+    merge_idle_rounds: int | None = None
+    """Merge a split-created shard back (handing its sessions and routes to
+    the least-loaded survivor) after its queue has been empty for this many
+    consecutive rebalance rounds.  ``None`` disables merging."""
+
+    def __post_init__(self) -> None:
+        if self.hot_queue_factor < 1.0:
+            raise ValueError(
+                f"ShardingConfig.hot_queue_factor must be >= 1, got {self.hot_queue_factor}"
+            )
+        if self.min_hot_depth < 1:
+            raise ValueError(
+                f"ShardingConfig.min_hot_depth must be positive, got {self.min_hot_depth}"
+            )
+        if self.split_queue_depth is not None and self.split_queue_depth < 1:
+            raise ValueError(
+                f"ShardingConfig.split_queue_depth must be positive when set, "
+                f"got {self.split_queue_depth}"
+            )
+        if self.max_shards < 1:
+            raise ValueError(
+                f"ShardingConfig.max_shards must be positive, got {self.max_shards}"
+            )
+        if self.merge_idle_rounds is not None and self.merge_idle_rounds < 1:
+            raise ValueError(
+                f"ShardingConfig.merge_idle_rounds must be positive when set, "
+                f"got {self.merge_idle_rounds}"
+            )
+
+
+__all__ += [
+    "ServingConfig",
+    "ExecutorConfig",
+    "ShardingConfig",
+    "UpdateConfig",
+    "ServerConfig",
+]
 
 _NESTED_CONFIGS.update(
     {
@@ -467,6 +566,7 @@ _NESTED_CONFIGS.update(
         "DetectionConfig": DetectionConfig,
         "ServingConfig": ServingConfig,
         "ExecutorConfig": ExecutorConfig,
+        "ShardingConfig": ShardingConfig,
         "UpdateConfig": UpdateConfig,
         "ServerConfig": ServerConfig,
     }

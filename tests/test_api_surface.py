@@ -39,7 +39,10 @@ EXPECTED_REPRO_ALL = sorted(
         "ModelRegistry",
         "ModelSnapshot",
         "ParallelExecutor",
+        "ProcessParallelExecutor",
         "RTFMDetector",
+        "RebalanceDecision",
+        "Rebalancer",
         "Runtime",
         "RuntimeConfig",
         "ScoredStream",
@@ -48,6 +51,7 @@ EXPECTED_REPRO_ALL = sorted(
         "ServerConfig",
         "ServingConfig",
         "ShardedScoringService",
+        "ShardingConfig",
         "SimulatedI3DExtractor",
         "SocialStreamGenerator",
         "SocialVideoStream",
@@ -77,12 +81,16 @@ EXPECTED_RUNTIME_ALL = sorted(["CHECKPOINT_FORMAT", "Runtime", "RuntimeConfig"])
 EXPECTED_SERVING_ALL = sorted(
     [
         "BackgroundUpdatePlane",
+        "BatchScores",
         "ManualClock",
         "MicroBatcher",
         "ModelRegistry",
         "ModelSnapshot",
         "ParallelExecutor",
+        "ProcessParallelExecutor",
         "QueueFull",
+        "RebalanceDecision",
+        "Rebalancer",
         "RegistryHandle",
         "ScoreRequest",
         "ScoringService",
@@ -95,6 +103,7 @@ EXPECTED_SERVING_ALL = sorted(
         "UpdatePlane",
         "UpdateReport",
         "UpdateTrigger",
+        "WorkerCrashed",
         "build_executor",
         "default_router",
         "replay_streams",

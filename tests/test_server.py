@@ -599,6 +599,12 @@ class TestServerIngest:
                     "mean_batch_size": shard.mean_batch_size,
                     "batch_occupancy": shard.batch_occupancy,
                     "mean_batch_latency_ms": shard.mean_batch_latency_ms,
+                    "latency_p50_ms": shard.latency_p50_ms,
+                    "latency_p95_ms": shard.latency_p95_ms,
+                    "latency_p99_ms": shard.latency_p99_ms,
                     "throughput": shard.throughput,
                 }
+            assert tenant["executor"] == runtime.executor_stats()
+            assert tenant["rebalance"] == runtime.rebalance_stats()
+            assert tenant["rebalance"]["enabled"] is False
         runtime.close()
