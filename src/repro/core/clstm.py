@@ -32,17 +32,29 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.backend import (
+    resolve_backend,
+    resolve_dtype,
+    resolve_precision,
+    to_host,
+)
 from ..nn.backprop import (
     coupled_pair_backward,
     coupled_pair_forward_cached,
     is_softmax_head,
     linear_backward,
     linear_forward,
+    softmax_forward,
     softmax_head_backward,
     softmax_head_forward,
     weighted_loss_grad,
 )
-from ..nn.fused import coupled_pair_forward_fused, fused_cache_fresh, prewarm_cell
+from ..nn.fused import (
+    coupled_pair_forward_fused,
+    fused_cache_fresh,
+    prewarm_cell,
+    transplant_fused_cache,
+)
 from ..nn.tensor import Tensor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (utils must not import core)
@@ -89,6 +101,25 @@ class CLSTMOutput:
         self.interaction_hidden = interaction_hidden
 
 
+def _float32_linear_weights(layer) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Cached float32 copies of a Linear layer's weights (identity-keyed).
+
+    Parameters always live in float64; the reduced-precision inference path
+    needs float32 copies, and rebuilding them per batch would defeat the
+    point.  Like the fused-weight cache, every parameter write path rebinds
+    ``.data``, so array identity is a sound staleness check.
+    """
+    weight = layer.weight.data
+    bias = layer.bias.data if layer.bias is not None else None
+    cache = getattr(layer, "_f32_cache", None)
+    if cache is not None and cache[0] is weight and cache[1] is bias:
+        return cache[2], cache[3]
+    weight32 = weight.astype(np.float32)
+    bias32 = bias.astype(np.float32) if bias is not None else None
+    layer._f32_cache = (weight, bias, weight32, bias32)
+    return weight32, bias32
+
+
 class CLSTM(nn.Module):
     """Coupling LSTM with decoders ``De_I`` and ``De_A``.
 
@@ -107,6 +138,16 @@ class CLSTM(nn.Module):
         ``"none"`` (independent LSTMs).
     seed:
         Parameter-initialisation seed.
+    backend:
+        Array backend the fused inference kernels run on (``"auto"`` resolves
+        ``REPRO_BACKEND``, default NumPy).  Parameters and training always
+        live on the host; a device backend transfers inputs/outputs at the
+        kernel boundary only.
+    precision:
+        Compute precision of fused inference (``"float64"`` default;
+        ``"float32"`` is the opt-in reduced-precision mode, tolerance-bounded
+        against the float64 oracle).  Weights are stored in float64 either
+        way; per-call ``precision=`` overrides take precedence.
     """
 
     def __init__(
@@ -117,6 +158,8 @@ class CLSTM(nn.Module):
         interaction_hidden: int = 32,
         coupling: CouplingMode = "both",
         seed: int = 0,
+        backend: str = "auto",
+        precision: str = "float64",
     ) -> None:
         super().__init__()
         if coupling not in ("both", "influencer_to_audience", "none"):
@@ -127,6 +170,12 @@ class CLSTM(nn.Module):
         self.action_hidden = action_hidden
         self.interaction_hidden = interaction_hidden
         self.coupling = coupling
+        self.backend = resolve_backend(backend)
+        # The pre-resolution request ("auto" stays "auto") is what configs
+        # round-trip: a checkpoint written on a GPU box must not pin "cupy"
+        # onto the CPU box that restores it.
+        self._backend_requested = backend
+        self.precision = resolve_precision(precision)
 
         # Coupling switches: does LSTM_I read g_{t-1}?  Does LSTM_A read h_{t-1}?
         audience_to_influencer = coupling == "both"
@@ -193,10 +242,22 @@ class CLSTM(nn.Module):
     # ------------------------------------------------------------------ #
     # Convenience inference helpers (fused, tape-free fast path)
     # ------------------------------------------------------------------ #
+    def _effective_precision(self, precision: Optional[str]) -> str:
+        """Resolve a per-call precision override against the model default."""
+        return self.precision if precision is None else resolve_precision(precision)
+
     def _fused_hidden(
-        self, action_sequences: np.ndarray, interaction_sequences: np.ndarray
+        self,
+        action_sequences: np.ndarray,
+        interaction_sequences: np.ndarray,
+        precision: Optional[str] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Final ``(h, g)`` hidden states via the fused batched forward."""
+        """Final ``(h, g)`` hidden states via the fused batched forward.
+
+        Always returns *host* arrays — this is the detection-side half of the
+        host↔device boundary (``to_host`` is a no-copy pass-through on the
+        NumPy backend).
+        """
         actions = np.asarray(
             action_sequences.data if isinstance(action_sequences, Tensor) else action_sequences,
             dtype=np.float64,
@@ -207,12 +268,21 @@ class CLSTM(nn.Module):
             else interaction_sequences,
             dtype=np.float64,
         )
-        return coupled_pair_forward_fused(
-            self.lstm_influencer, self.lstm_audience, actions, interactions
+        final_h, final_g = coupled_pair_forward_fused(
+            self.lstm_influencer,
+            self.lstm_audience,
+            actions,
+            interactions,
+            backend=self.backend,
+            dtype=resolve_dtype(self._effective_precision(precision)),
         )
+        return to_host(final_h), to_host(final_g)
 
     def predict_full(
-        self, action_sequences: np.ndarray, interaction_sequences: np.ndarray
+        self,
+        action_sequences: np.ndarray,
+        interaction_sequences: np.ndarray,
+        precision: Optional[str] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """One fused inference pass returning everything the online path needs.
 
@@ -221,11 +291,27 @@ class CLSTM(nn.Module):
         *and* drift-detection hidden states (the serving scheduler, the
         incremental updater) pay for a single forward.
 
-        Only the recurrent sweep needs the fused kernels; the decoder heads
-        are a single layer each, so they run through the real modules under
-        ``no_grad`` (tape-free) and can never drift from the training path.
+        At ``float64`` (the default) only the recurrent sweep needs the fused
+        kernels; the decoder heads are a single layer each, so they run
+        through the real modules under ``no_grad`` (tape-free) and can never
+        drift from the training path.  At ``float32`` the decoders run
+        through cached single-precision weight copies instead (the Tensor
+        modules would silently upcast), keeping the whole pass single
+        precision end to end.
         """
-        final_h, final_g = self._fused_hidden(action_sequences, interaction_sequences)
+        effective = self._effective_precision(precision)
+        final_h, final_g = self._fused_hidden(
+            action_sequences, interaction_sequences, precision=effective
+        )
+        if effective != "float64" and self.supports_fused_training:
+            action_linear = list(self.decoder_action)[0]
+            w32, b32 = _float32_linear_weights(action_linear)
+            action_reconstruction = softmax_forward(final_h @ w32 + b32)
+            w32, b32 = _float32_linear_weights(self.decoder_interaction)
+            interaction_reconstruction = final_g @ w32
+            if b32 is not None:
+                interaction_reconstruction += b32
+            return action_reconstruction, interaction_reconstruction, final_h, final_g
         with nn.no_grad():
             action_reconstruction = self.decoder_action(Tensor(final_h)).numpy()
             interaction_reconstruction = self.decoder_interaction(Tensor(final_g)).numpy()
@@ -236,16 +322,19 @@ class CLSTM(nn.Module):
         action_sequences: np.ndarray,
         interaction_sequences: np.ndarray,
         fused: bool = True,
+        precision: Optional[str] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Inference-mode prediction; returns NumPy arrays ``(I_hat, A_hat)``.
 
         Uses the fused batched forward by default; ``fused=False`` keeps the
         per-timestep autograd path available as a reference (equivalence is
         pinned to ≤1e-8 by the test-suite) and for benchmarking.
+        ``precision`` overrides the model's configured compute precision for
+        this call (the tape path is float64 only).
         """
         if fused:
             reconstruction_i, reconstruction_a, _, _ = self.predict_full(
-                action_sequences, interaction_sequences
+                action_sequences, interaction_sequences, precision=precision
             )
             return reconstruction_i, reconstruction_a
         with nn.no_grad():
@@ -257,10 +346,13 @@ class CLSTM(nn.Module):
         action_sequences: np.ndarray,
         interaction_sequences: np.ndarray,
         fused: bool = True,
+        precision: Optional[str] = None,
     ) -> np.ndarray:
         """Final ``h_t`` hidden states of ``LSTM_I`` (drift-detection input)."""
         if fused:
-            final_h, _ = self._fused_hidden(action_sequences, interaction_sequences)
+            final_h, _ = self._fused_hidden(
+                action_sequences, interaction_sequences, precision=precision
+            )
             return final_h
         with nn.no_grad():
             output = self.forward(action_sequences, interaction_sequences)
@@ -289,6 +381,7 @@ class CLSTM(nn.Module):
         interaction_targets: np.ndarray,
         omega: float,
         action_loss: str = "js",
+        tbptt_window: Optional[int] = None,
     ) -> float:
         """One tape-free training step: fused forward, analytic backward.
 
@@ -299,6 +392,11 @@ class CLSTM(nn.Module):
         *accumulated* into every parameter's ``.grad``, exactly like
         ``loss.backward()`` on the tape path, and the loss value is returned.
         The caller owns ``zero_grad`` / clipping / the optimiser step.
+
+        ``tbptt_window`` truncates the backward sweep to the last ``K``
+        timesteps (exact full BPTT for sequences that fit inside the window;
+        O(window) backward cost beyond it) — the streaming-update mode of
+        ``TrainingConfig.tbptt_window``.
         """
         final_h, final_g, cache = coupled_pair_forward_cached(
             self.lstm_influencer, self.lstm_audience, action_sequences, interaction_sequences
@@ -317,7 +415,12 @@ class CLSTM(nn.Module):
         d_final_h = softmax_head_backward(action_linear, final_h, softmax_out, d_softmax)
         d_final_g = linear_backward(self.decoder_interaction, final_g, d_interaction_out)
         coupled_pair_backward(
-            self.lstm_influencer, self.lstm_audience, cache, d_final_h, d_final_g
+            self.lstm_influencer,
+            self.lstm_audience,
+            cache,
+            d_final_h,
+            d_final_g,
+            window=tbptt_window,
         )
         return loss
 
@@ -353,6 +456,8 @@ class CLSTM(nn.Module):
             interaction_hidden=self.interaction_hidden,
             coupling=self.coupling,
             seed=seed,
+            backend=self._backend_requested,
+            precision=self.precision,
         )
 
     # ------------------------------------------------------------------ #
@@ -378,6 +483,8 @@ class CLSTM(nn.Module):
             interaction_hidden=config.interaction_hidden,
             coupling=coupling,
             seed=seed,
+            backend=getattr(config, "backend", "auto"),
+            precision=getattr(config, "precision", "float64"),
         )
 
     @property
@@ -390,6 +497,8 @@ class CLSTM(nn.Module):
             interaction_dim=self.interaction_dim,
             action_hidden=self.action_hidden,
             interaction_hidden=self.interaction_hidden,
+            backend=self._backend_requested,
+            precision=self.precision,
         )
 
     # ------------------------------------------------------------------ #
@@ -416,9 +525,18 @@ class CLSTM(nn.Module):
         publish into a :class:`~repro.serving.registry.ModelRegistry` while
         the original keeps training or being merged: nothing that later
         mutates ``self`` can reach the snapshot or stale its caches.
+
+        The source's stacked-weight caches are built once here and then
+        *transplanted* to every copy (the copy holds identical parameter
+        values, so the stacked arrays are re-keyed rather than re-built) —
+        repeated publishes of an unchanged model never re-concatenate the
+        gate weights.
         """
         copy = self.clone_architecture(seed=0)
         copy.load_state_dict(self.state_dict())
+        self.prewarm_fused()
+        transplant_fused_cache(self.lstm_influencer, copy.lstm_influencer)
+        transplant_fused_cache(self.lstm_audience, copy.lstm_audience)
         copy.prewarm_fused()
         return copy
 

@@ -84,7 +84,7 @@ class AnomalyDetector:
     # ------------------------------------------------------------------ #
     # Scoring
     # ------------------------------------------------------------------ #
-    def score(self, batch: SequenceBatch) -> DetectionResult:
+    def score(self, batch: SequenceBatch, precision: Optional[str] = None) -> DetectionResult:
         """Score every sequence in ``batch`` and apply the current threshold."""
         return self.score_arrays(
             batch.action_sequences,
@@ -92,6 +92,7 @@ class AnomalyDetector:
             batch.action_targets,
             batch.interaction_targets,
             batch.target_indices,
+            precision=precision,
         )
 
     def score_arrays(
@@ -101,12 +102,16 @@ class AnomalyDetector:
         action_targets: np.ndarray,
         interaction_targets: np.ndarray,
         segment_indices: np.ndarray,
+        precision: Optional[str] = None,
     ) -> DetectionResult:
         """Score raw sequence arrays in one fused batched forward pass.
 
         This is the array-level twin of :meth:`score`, used by callers that
         assemble batches themselves (the micro-batching scoring service
         coalesces sequences from many concurrent streams into a single call).
+        ``precision`` overrides the model's compute precision for the forward
+        (``None`` defers to the model; threshold calibration always pins
+        ``"float64"``).
         """
         if len(action_sequences) == 0:
             empty = np.zeros(0)
@@ -119,7 +124,7 @@ class AnomalyDetector:
                 threshold=self.anomaly_threshold if self.anomaly_threshold is not None else float("nan"),
             )
         predicted_action, predicted_interaction = self.model.predict(
-            action_sequences, interaction_sequences
+            action_sequences, interaction_sequences, precision=precision
         )
         return self.score_predictions(
             segment_indices,
@@ -190,7 +195,11 @@ class AnomalyDetector:
     ) -> float:
         if not 0.0 < quantile < 1.0:
             raise ValueError("quantile must be in (0, 1)")
-        result = self.score(batch)
+        # Threshold calibration is always full precision: T_a anchors every
+        # downstream decision, so a reduced-precision serving configuration
+        # must not perturb it (the float32 accuracy contract is defined
+        # *relative to* the float64-calibrated threshold).
+        result = self.score(batch, precision="float64")
         if len(result) == 0:
             raise ValueError("cannot calibrate on an empty batch")
         self._calibration_scores = result.scores

@@ -115,6 +115,16 @@ class CLSTMTrainer:
             raise ValueError("cannot train on an empty sequence batch")
         config = self.config
         epochs = epochs if epochs is not None else config.epochs
+        if config.tbptt_window is not None and not self._use_fused():
+            # The config validated use_fused=True; this catches models the
+            # fused engine cannot handle (custom decoders / overridden
+            # forward), where silently falling back to the tape would ignore
+            # the truncation the caller asked for.
+            raise RuntimeError(
+                "tbptt_window requires the fused training engine, but this "
+                "model falls back to the autograd tape (unsupported decoder "
+                "or overridden forward)"
+            )
         rng = np.random.default_rng(config.seed)
 
         train_batch, validation_batch = self._split(sequences, rng)
@@ -232,6 +242,7 @@ class CLSTMTrainer:
                     mini.interaction_targets,
                     omega=config.omega,
                     action_loss=config.action_loss,
+                    tbptt_window=config.tbptt_window,
                 )
             else:
                 output = self.model(mini.action_sequences, mini.interaction_sequences)

@@ -12,10 +12,17 @@ from .layers import Linear, Dropout, Sequential, MLP, Activation, SoftmaxHead
 from .recurrent import LSTMCell, CoupledLSTMCell, run_lstm
 from .fused import (
     FusedGateWeights,
+    Workspace,
     fuse_lstm_cell,
     fuse_coupled_cell,
     lstm_forward_fused,
     coupled_pair_forward_fused,
+)
+from .backend import (
+    get_namespace,
+    resolve_backend,
+    resolve_precision,
+    to_host,
 )
 from .backprop import (
     BPTTCache,
@@ -54,6 +61,11 @@ __all__ = [
     "CoupledLSTMCell",
     "run_lstm",
     "FusedGateWeights",
+    "Workspace",
+    "get_namespace",
+    "resolve_backend",
+    "resolve_precision",
+    "to_host",
     "fuse_lstm_cell",
     "fuse_coupled_cell",
     "lstm_forward_fused",

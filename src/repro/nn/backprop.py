@@ -35,6 +35,23 @@ correctness oracle via ``TrainingConfig(use_fused=False)``.
 
 Only zero initial states are supported — that is what every training path
 uses (fresh windows per minibatch).
+
+Two orthogonal extensions ride on the same layout:
+
+* **Truncated BPTT** — the backward sweep accepts a ``window`` (plumbed from
+  ``TrainingConfig.tbptt_window``): only the last ``window`` timesteps
+  produce pre-activation gradients, states older than the window are treated
+  as constants, and the deferred weight GEMMs shrink accordingly, so an
+  incremental retrain over a long history costs O(window) in the backward
+  instead of O(T).  For ``T ≤ window`` the gradient is *exactly* full BPTT
+  (same code path); above it the divergence is the standard TBPTT bias —
+  bounded by the LSTM's forget-gate contraction of ``∂h_t/∂h_{t-k}``.
+* **Array-namespace routing** — allocations and ufuncs resolve their
+  namespace from the arrays they operate on (:func:`repro.nn.backend
+  .namespace_of`), never from a hardcoded ``numpy`` reference, and every
+  buffer pins its dtype explicitly.  Training currently always resolves to
+  the host namespace (parameters and optimiser state live on host); the
+  kernels themselves are backend-clean.
 """
 
 from __future__ import annotations
@@ -44,6 +61,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .backend import namespace_of
 from .fused import FusedGateWeights, fuse_coupled_cell, fuse_lstm_cell
 from .losses import _EPS
 
@@ -77,19 +95,19 @@ __all__ = [
 # modules must share one constant.
 
 
-def _sigmoid_into(x: np.ndarray, out: np.ndarray) -> None:
+def _sigmoid_into(x: np.ndarray, out: np.ndarray, xp=np) -> None:
     """The tape's clipped sigmoid, computed fully in place into ``out``.
 
     Direct ``minimum``/``maximum`` ufuncs instead of the ``np.clip`` wrapper —
     this runs once per timestep on the joint gate width, so wrapper overhead
     is measurable.
     """
-    np.minimum(x, 60.0, out=out)
-    np.maximum(out, -60.0, out=out)
-    np.negative(out, out=out)
-    np.exp(out, out=out)
+    xp.minimum(x, 60.0, out=out)
+    xp.maximum(out, -60.0, out=out)
+    xp.negative(out, out=out)
+    xp.exp(out, out=out)
     out += 1.0
-    np.reciprocal(out, out=out)
+    xp.reciprocal(out, out=out)
 
 
 # ---------------------------------------------------------------------- #
@@ -159,7 +177,7 @@ def _assemble_joint_projection(projections: Sequence[np.ndarray], hidden_sizes: 
         return projections[0]
     time_steps, batch, _ = projections[0].shape
     total = sum(hidden_sizes)
-    joint = np.empty((time_steps, batch, 4 * total))
+    joint = np.empty((time_steps, batch, 4 * total), dtype=projections[0].dtype)
     for gate in range(4):
         offset = gate * total
         for projection, hidden in zip(projections, hidden_sizes):
@@ -183,7 +201,7 @@ def _joint_recurrent_matrix(
         return fused_list[0].w_hidden
     total = sum(hidden_sizes)
     row_offsets = np.concatenate([[0], np.cumsum(hidden_sizes)])
-    w_rec = np.zeros((total, 4 * total))
+    w_rec = np.zeros((total, 4 * total), dtype=fused_list[0].w_hidden.dtype)
     for cell_index, (fused, hidden) in enumerate(zip(fused_list, hidden_sizes)):
         own = slice(int(row_offsets[cell_index]), int(row_offsets[cell_index + 1]))
         partner_index = 1 - cell_index
@@ -226,32 +244,34 @@ def _joint_forward(
     inputs: Tuple[np.ndarray, ...],
 ) -> Tuple[np.ndarray, BPTTCache]:
     """Run the joint recurrence over ``(T, B, 4Hs)`` projections, caching states."""
+    xp = namespace_of(x_proj)
+    dtype = x_proj.dtype
     time_steps, batch, four_total = x_proj.shape
     total = four_total // 4
-    gates = np.empty((time_steps, batch, four_total))
-    cells = np.empty((time_steps, batch, total))
-    tanh_cells = np.empty((time_steps, batch, total))
-    hiddens = np.empty((time_steps, batch, total))
+    gates = xp.empty((time_steps, batch, four_total), dtype=dtype)
+    cells = xp.empty((time_steps, batch, total), dtype=dtype)
+    tanh_cells = xp.empty((time_steps, batch, total), dtype=dtype)
+    hiddens = xp.empty((time_steps, batch, total), dtype=dtype)
 
-    state = np.zeros((batch, total))
-    cell_state = np.zeros((batch, total))
-    pre = np.empty((batch, four_total))
-    scratch = np.empty((batch, total))
+    state = xp.zeros((batch, total), dtype=dtype)
+    cell_state = xp.zeros((batch, total), dtype=dtype)
+    pre = xp.empty((batch, four_total), dtype=dtype)
+    scratch = xp.empty((batch, total), dtype=dtype)
     for t in range(time_steps):
-        np.matmul(state, w_rec, out=pre)
+        xp.matmul(state, w_rec, out=pre)
         pre += x_proj[t]
         gate = gates[t]
         # One sigmoid pass over the whole joint gate width (the wasted work on
         # the candidate block is cheaper than a second set of ufunc calls),
         # then the candidate block is overwritten with its tanh.
-        _sigmoid_into(pre, gate)
-        np.tanh(pre[:, 2 * total : 3 * total], out=gate[:, 2 * total : 3 * total])
+        _sigmoid_into(pre, gate, xp)
+        xp.tanh(pre[:, 2 * total : 3 * total], out=gate[:, 2 * total : 3 * total])
         c_t = cells[t]
-        np.multiply(gate[:, :total], gate[:, 2 * total : 3 * total], out=c_t)
-        np.multiply(gate[:, total : 2 * total], cell_state, out=scratch)
+        xp.multiply(gate[:, :total], gate[:, 2 * total : 3 * total], out=c_t)
+        xp.multiply(gate[:, total : 2 * total], cell_state, out=scratch)
         c_t += scratch
-        np.tanh(c_t, out=tanh_cells[t])
-        np.multiply(gate[:, 3 * total :], tanh_cells[t], out=hiddens[t])
+        xp.tanh(c_t, out=tanh_cells[t])
+        xp.multiply(gate[:, 3 * total :], tanh_cells[t], out=hiddens[t])
         state = hiddens[t]
         cell_state = c_t
 
@@ -344,15 +364,27 @@ def _accumulate_grad(parameter, grad: np.ndarray) -> None:
         parameter.grad = parameter.grad + grad
 
 
-def _joint_backward(cache: BPTTCache, d_final: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Reverse sweep over the joint recurrence.
+def _joint_backward(
+    cache: BPTTCache, d_final: np.ndarray, window: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Reverse sweep over the joint recurrence, optionally truncated.
 
-    Returns ``(d_w_rec, d_pre_all)``: the joint recurrent-weight gradient
-    ``(Hs, 4Hs)`` and the per-step pre-activation gradients ``(T, B, 4Hs)``
-    (gate-grouped), from which the input-weight and bias gradients follow.
+    Returns ``(d_w_rec, d_pre_all, start)``: the joint recurrent-weight
+    gradient ``(Hs, 4Hs)``, the per-step pre-activation gradients
+    ``(T - start, B, 4Hs)`` (gate-grouped) for the steps that were swept,
+    and the first swept step ``start``.  The input-weight and bias gradients
+    follow from ``d_pre_all``.
+
+    ``window`` truncates the sweep to the last ``window`` timesteps
+    (``start = max(0, T - window)``): the hidden/cell states entering step
+    ``start`` are treated as constants — the standard truncated-BPTT
+    approximation — so every buffer here is O(window) and the deferred GEMMs
+    shrink to the window.  ``window is None`` or ``window ≥ T`` takes the
+    exact full-BPTT path (``start = 0``, identical operations to the
+    untruncated implementation).
 
     Everything that depends only on cached forward values is vectorised over
-    all timesteps *before* the reverse loop: the per-gate factor
+    the swept timesteps *before* the reverse loop: the per-gate factor
     ``∂gate/∂pre · upstream`` (``factors``) and ``1 - tanh(c)^2``.  The loop
     itself then touches each step with a handful of joint-width ufuncs plus
     the single state-propagation GEMM; the recurrent weight gradient
@@ -360,66 +392,81 @@ def _joint_backward(cache: BPTTCache, d_final: np.ndarray) -> Tuple[np.ndarray, 
     """
     gates, cells, tanh_cells, hiddens = cache.gates, cache.cells, cache.tanh_cells, cache.hiddens
     w_rec = cache.w_rec
+    xp = namespace_of(gates)
+    dtype = gates.dtype
     time_steps, batch, total = cells.shape
+    start = 0 if window is None else max(0, time_steps - window)
+    span = time_steps - start
     i_cols = slice(0, total)
     f_cols = slice(total, 2 * total)
     c_cols = slice(2 * total, 3 * total)
     o_cols = slice(3 * total, None)
 
-    # factors[t] = d(gate)/d(pre) * (local upstream factor), for every gate:
+    # factors[k] (k = t - start) = d(gate)/d(pre) * (local upstream factor):
     #   input:     i(1-i) * ĉ        forget:  f(1-f) * c_{t-1}
     #   candidate: (1-ĉ²) * i        output:  o(1-o) * tanh(c_t)
-    factors = np.empty_like(gates)
-    np.multiply(gates, gates, out=factors)
-    np.subtract(gates, factors, out=factors)  # g - g² = g(1-g) (sigmoid blocks)
-    candidate = gates[:, :, c_cols]
-    np.multiply(candidate, candidate, out=factors[:, :, c_cols])
-    np.subtract(1.0, factors[:, :, c_cols], out=factors[:, :, c_cols])  # 1 - ĉ²
+    gates_w = gates[start:]
+    tanh_w = tanh_cells[start:]
+    factors = xp.empty((span, batch, 4 * total), dtype=dtype)
+    xp.multiply(gates_w, gates_w, out=factors)
+    xp.subtract(gates_w, factors, out=factors)  # g - g² = g(1-g) (sigmoid blocks)
+    candidate = gates_w[:, :, c_cols]
+    xp.multiply(candidate, candidate, out=factors[:, :, c_cols])
+    xp.subtract(1.0, factors[:, :, c_cols], out=factors[:, :, c_cols])  # 1 - ĉ²
     factors[:, :, i_cols] *= candidate
-    factors[:, :, c_cols] *= gates[:, :, i_cols]
-    factors[:, :, o_cols] *= tanh_cells
-    factors[1:, :, f_cols] *= cells[:-1]  # c_{t-1}; step 0 reads the zero state
-    factors[0, :, f_cols] = 0.0
+    factors[:, :, c_cols] *= gates_w[:, :, i_cols]
+    factors[:, :, o_cols] *= tanh_w
+    if start == 0:
+        factors[1:, :, f_cols] *= cells[:-1]  # c_{t-1}; step 0 reads the zero state
+        factors[0, :, f_cols] = 0.0
+    else:
+        # Every swept step has a real (cached) predecessor cell state; its
+        # *value* still enters the forget-gate factor even though no gradient
+        # is propagated into it.
+        factors[:, :, f_cols] *= cells[start - 1 : time_steps - 1]
 
-    one_minus_tanh_sq = np.multiply(tanh_cells, tanh_cells)
-    np.subtract(1.0, one_minus_tanh_sq, out=one_minus_tanh_sq)
+    one_minus_tanh_sq = xp.multiply(tanh_w, tanh_w)
+    xp.subtract(1.0, one_minus_tanh_sq, out=one_minus_tanh_sq)
 
-    d_state = np.array(d_final, dtype=np.float64)
-    d_cell = np.zeros((batch, total))
-    d_pre_all = np.empty_like(gates)
-    d_c_total = np.empty((batch, total))
-    next_state = np.empty((batch, total))
+    d_state = xp.array(d_final, dtype=dtype)
+    d_cell = xp.zeros((batch, total), dtype=dtype)
+    d_pre_all = xp.empty((span, batch, 4 * total), dtype=dtype)
+    d_c_total = xp.empty((batch, total), dtype=dtype)
+    next_state = xp.empty((batch, total), dtype=dtype)
 
-    for t in reversed(range(time_steps)):
+    for t in reversed(range(start, time_steps)):
         gate = gates[t]
-        d_pre = d_pre_all[t]
+        d_pre = d_pre_all[t - start]
         # d_c_total = d_cell + d_state * o * (1 - tanh(c)^2)
-        np.multiply(d_state, gate[:, o_cols], out=d_c_total)
-        d_c_total *= one_minus_tanh_sq[t]
+        xp.multiply(d_state, gate[:, o_cols], out=d_c_total)
+        d_c_total *= one_minus_tanh_sq[t - start]
         d_c_total += d_cell
         # d_pre: the i/f/ĉ blocks share the d_c_total factor (one broadcast
         # pass over a (B, 3, Hs) view); the o block uses d_state instead.
-        np.multiply(
-            factors[t, :, : 3 * total].reshape(batch, 3, total),
+        xp.multiply(
+            factors[t - start, :, : 3 * total].reshape(batch, 3, total),
             d_c_total[:, None, :],
             out=d_pre[:, : 3 * total].reshape(batch, 3, total),
         )
-        np.multiply(factors[t, :, o_cols], d_state, out=d_pre[:, o_cols])
+        xp.multiply(factors[t - start, :, o_cols], d_state, out=d_pre[:, o_cols])
         # Carry the cell gradient: d_c_{t-1} = d_c_total * f
-        np.multiply(d_c_total, gate[:, f_cols], out=d_cell)
-        if t > 0:
-            # The initial state is zero, so step 0 propagates no state grad.
-            np.matmul(d_pre, w_rec.T, out=next_state)
+        xp.multiply(d_c_total, gate[:, f_cols], out=d_cell)
+        if t > start:
+            # At start == 0 the initial state is zero (no grad to propagate);
+            # at start > 0 the truncation stops the sweep there.
+            xp.matmul(d_pre, w_rec.T, out=next_state)
             d_state = next_state
 
-    # Recurrent weight gradient in one deferred GEMM over all steps t ≥ 1.
-    if time_steps > 1:
-        states = hiddens[:-1].reshape((time_steps - 1) * batch, total)
-        d_pres = d_pre_all[1:].reshape((time_steps - 1) * batch, 4 * total)
+    # Recurrent weight gradient in one deferred GEMM over the swept steps
+    # with a real predecessor hidden state (t ≥ max(1, start)).
+    first = max(1, start)
+    if time_steps > first:
+        states = hiddens[first - 1 : time_steps - 1].reshape((time_steps - first) * batch, total)
+        d_pres = d_pre_all[first - start :].reshape((time_steps - first) * batch, 4 * total)
         d_w_rec = states.T @ d_pres
     else:
-        d_w_rec = np.zeros_like(w_rec)
-    return d_w_rec, d_pre_all
+        d_w_rec = xp.zeros_like(w_rec)
+    return d_w_rec, d_pre_all, start
 
 
 def _scatter_cell_grads(
@@ -448,7 +495,7 @@ def _scatter_cell_grads(
             if d_partner_rows is not None:
                 rows.append(d_partner_rows[:, cols])
             else:
-                rows.append(np.zeros((partner_size, h)))
+                rows.append(np.zeros((partner_size, h), dtype=d_hidden_rows.dtype))
         rows.append(d_input_rows[:, cols])
         _accumulate_grad(weight, np.concatenate(rows, axis=0))
         _accumulate_grad(bias, d_bias[cols].copy())
@@ -464,7 +511,7 @@ def _split_joint_pre(
     offset = sum(hidden_sizes[:cell_index])
     if len(hidden_sizes) == 1:
         return d_pre_all.reshape(time_steps * batch, 4 * hidden)
-    out = np.empty((time_steps, batch, 4 * hidden))
+    out = np.empty((time_steps, batch, 4 * hidden), dtype=d_pre_all.dtype)
     for gate in range(4):
         cols = slice(gate * total + offset, gate * total + offset + hidden)
         out[..., gate * hidden : (gate + 1) * hidden] = d_pre_all[..., cols]
@@ -485,7 +532,7 @@ def _joint_rec_block(
     hidden = hidden_sizes[col_cell]
     if len(hidden_sizes) == 1:
         return d_w_rec
-    out = np.empty((hidden_sizes[row_cell], 4 * hidden))
+    out = np.empty((hidden_sizes[row_cell], 4 * hidden), dtype=d_w_rec.dtype)
     for gate in range(4):
         cols = slice(gate * total + col_offset, gate * total + col_offset + hidden)
         out[:, gate * hidden : (gate + 1) * hidden] = d_w_rec[rows, cols]
@@ -498,9 +545,18 @@ def _finalise_cell_grads(
     d_w_rec: np.ndarray,
     d_pre_all: np.ndarray,
     cell_index: int,
+    start: int = 0,
 ) -> None:
-    """Input/bias GEMMs and parameter scatter for one cell of the joint system."""
+    """Input/bias GEMMs and parameter scatter for one cell of the joint system.
+
+    ``start`` is the first timestep the (possibly truncated) backward swept;
+    the time-major input rows below it contribute no gradient and are sliced
+    away, keeping the deferred input GEMM O(window) as well.
+    """
+    batch = d_pre_all.shape[1]
     flat_inputs = cache.inputs[cell_index]
+    if start:
+        flat_inputs = flat_inputs[start * batch :]
     d_pre = _split_joint_pre(d_pre_all, cache.hidden_sizes, cell_index)
     d_w_input = flat_inputs.T @ d_pre
     d_bias = d_pre.sum(axis=0)
@@ -511,14 +567,27 @@ def _finalise_cell_grads(
     _scatter_cell_grads(cell, d_hidden_rows, d_partner_rows, d_w_input, d_bias)
 
 
-def lstm_backward(cell: "LSTMCell", cache: BPTTCache, d_last_hidden: np.ndarray) -> None:
+def _check_window(window: Optional[int]) -> Optional[int]:
+    if window is not None and (not isinstance(window, int) or window < 1):
+        raise ValueError(f"tbptt window must be a positive integer or None, got {window!r}")
+    return window
+
+
+def lstm_backward(
+    cell: "LSTMCell",
+    cache: BPTTCache,
+    d_last_hidden: np.ndarray,
+    window: Optional[int] = None,
+) -> None:
     """Analytic BPTT for a plain LSTM cell, from the final hidden state only.
 
     Accumulates gradients into the cell's parameters (``.grad``), matching
     what ``state[0].backward(d_last_hidden)`` produces on the tape path.
+    ``window`` truncates the sweep to the last ``window`` timesteps (exact
+    full BPTT whenever the sequence fits inside it).
     """
-    d_w_rec, d_pre_all = _joint_backward(cache, d_last_hidden)
-    _finalise_cell_grads(cell, cache, d_w_rec, d_pre_all, 0)
+    d_w_rec, d_pre_all, start = _joint_backward(cache, d_last_hidden, _check_window(window))
+    _finalise_cell_grads(cell, cache, d_w_rec, d_pre_all, 0, start)
 
 
 def coupled_pair_backward(
@@ -527,6 +596,7 @@ def coupled_pair_backward(
     cache: BPTTCache,
     d_h_final: np.ndarray,
     d_g_final: np.ndarray,
+    window: Optional[int] = None,
 ) -> None:
     """Analytic BPTT through two mutually coupled cells.
 
@@ -536,14 +606,19 @@ def coupled_pair_backward(
     single GEMM pair per timestep.  Gradients are accumulated into both
     cells' parameters (a disabled coupling direction yields the tape's exact
     all-zero partner-weight gradient).
+
+    ``window`` applies truncated BPTT to the joint system: for sequences no
+    longer than the window the gradient is exactly full BPTT; beyond it, the
+    sweep (and its memory) is O(window) and states older than the window are
+    treated as constants.
     """
     d_final = np.concatenate(
         [np.asarray(d_h_final, dtype=np.float64), np.asarray(d_g_final, dtype=np.float64)],
         axis=1,
     )
-    d_w_rec, d_pre_all = _joint_backward(cache, d_final)
-    _finalise_cell_grads(influencer, cache, d_w_rec, d_pre_all, 0)
-    _finalise_cell_grads(audience, cache, d_w_rec, d_pre_all, 1)
+    d_w_rec, d_pre_all, start = _joint_backward(cache, d_final, _check_window(window))
+    _finalise_cell_grads(influencer, cache, d_w_rec, d_pre_all, 0, start)
+    _finalise_cell_grads(audience, cache, d_w_rec, d_pre_all, 1, start)
 
 
 # ---------------------------------------------------------------------- #

@@ -14,6 +14,12 @@ the fused-weight caches in :mod:`repro.nn.fused` rely on array identity as
 their staleness check.  The classic per-parameter path remains available via
 ``flat=False`` and is the behavioural oracle for the flat path (they agree
 bit-for-bit; parameters whose gradient is ``None`` are skipped identically).
+
+Every optimiser buffer pins its dtype explicitly (``float64``): parameters
+and optimiser state live on the host at full precision regardless of the
+inference backend/precision selected through :mod:`repro.nn.backend` — the
+reduced-precision and device paths are inference-only, and their weight
+variants are *derived* from these float64 parameters at fuse time.
 """
 
 from __future__ import annotations
@@ -76,7 +82,7 @@ class Optimizer:
             return None, missing
         if not missing:
             return np.concatenate([p.grad.ravel() for p in self.parameters]), missing
-        flat = np.zeros(self._numel)
+        flat = np.zeros(self._numel, dtype=np.float64)
         for index, parameter in enumerate(self.parameters):
             if parameter.grad is not None:
                 flat[self._segment(index)] = parameter.grad.ravel()
@@ -132,7 +138,7 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.flat = flat
         if flat:
-            self._flat_velocity = np.zeros(self._numel) if momentum > 0.0 else None
+            self._flat_velocity = np.zeros(self._numel, dtype=np.float64) if momentum > 0.0 else None
         else:
             self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 

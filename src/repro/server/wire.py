@@ -129,4 +129,5 @@ def detection_to_json(detection: StreamDetection) -> dict:
         "is_anomaly": detection.is_anomaly,
         "threshold": detection.threshold,
         "model_version": detection.model_version,
+        "precision": detection.precision,
     }

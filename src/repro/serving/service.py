@@ -55,6 +55,7 @@ from ..core.detector import AnomalyDetector
 from ..core.update import hidden_set_similarity
 from ..features.pipeline import StreamFeatures
 from ..utils.config import UpdateConfig
+from ..utils.timer import TimingAccumulator
 from .microbatch import MicroBatcher, ScoreRequest
 from .registry import ModelRegistry
 
@@ -127,7 +128,9 @@ class StreamDetection:
     """One scored segment, routed back to its stream.
 
     ``model_version`` records which registry snapshot produced the decision,
-    so post-swap detections are attributable to the model that made them.
+    so post-swap detections are attributable to the model that made them;
+    ``precision`` records the compute precision of the forward pass that
+    produced the score (the threshold itself is always float64-calibrated).
     """
 
     stream_id: str
@@ -138,6 +141,7 @@ class StreamDetection:
     is_anomaly: bool
     threshold: float
     model_version: int = 1
+    precision: str = "float64"
 
 
 @dataclass(frozen=True)
@@ -170,6 +174,14 @@ class ServiceStats:
     segments_scored: int = 0
     batches: int = 0
     scoring_seconds: float = 0.0
+    forward_seconds: float = 0.0
+    """Seconds in the fused CLSTM forward (``predict_full``); for remote
+    kernels the whole worker round-trip is counted here (the split is not
+    observable across the process boundary)."""
+    score_seconds: float = 0.0
+    """Seconds in the REIA combination + threshold decision."""
+    update_seconds: float = 0.0
+    """Seconds in drift-triggered maintenance (update-plane retrains)."""
 
     @property
     def mean_batch_size(self) -> float:
@@ -217,6 +229,16 @@ class ShardStats:
     """99th-percentile flush-to-score latency over the reservoir — the tail
     signal a rebalancer (and an operator) needs beyond means."""
 
+    forward_seconds: float = 0.0
+    """Seconds spent in the fused forward kernel (see
+    :attr:`ServiceStats.forward_seconds` for the remote-kernel caveat)."""
+
+    score_seconds: float = 0.0
+    """Seconds spent in REIA scoring + threshold decisions."""
+
+    update_seconds: float = 0.0
+    """Seconds spent in drift-triggered update-plane maintenance."""
+
     @property
     def mean_batch_size(self) -> float:
         return self.segments_scored / self.batches if self.batches else 0.0
@@ -230,6 +252,16 @@ class ShardStats:
     def mean_batch_latency_ms(self) -> float:
         """Mean scoring cost per flushed batch (milliseconds)."""
         return 1e3 * self.scoring_seconds / self.batches if self.batches else 0.0
+
+    @property
+    def mean_forward_ms(self) -> float:
+        """Mean fused-forward kernel time per flushed batch (milliseconds)."""
+        return 1e3 * self.forward_seconds / self.batches if self.batches else 0.0
+
+    @property
+    def mean_score_ms(self) -> float:
+        """Mean REIA-scoring kernel time per flushed batch (milliseconds)."""
+        return 1e3 * self.score_seconds / self.batches if self.batches else 0.0
 
     @property
     def throughput(self) -> float:
@@ -422,6 +454,9 @@ class ScoringService:
         )
         self.sessions: Dict[str, StreamSession] = {}
         self.stats = ServiceStats()
+        # Per-kernel wall-time split (forward / score / update) feeding the
+        # ShardStats timing fields; mutated only under the scoring lock.
+        self._kernel_timings = TimingAccumulator()
         self.on_update_trigger = on_update_trigger
         self.update_triggers: List[UpdateTrigger] = []
         self._historical_hidden = (
@@ -501,6 +536,7 @@ class ScoringService:
     def reset_stats(self) -> None:
         with self._score_lock:
             self.stats = ServiceStats()
+            self._kernel_timings = TimingAccumulator()
             self._latencies.clear()
 
     def queue_depth(self) -> int:
@@ -531,6 +567,9 @@ class ScoringService:
                 latency_p50_ms=float(p50),
                 latency_p95_ms=float(p95),
                 latency_p99_ms=float(p99),
+                forward_seconds=self.stats.forward_seconds,
+                score_seconds=self.stats.score_seconds,
+                update_seconds=self.stats.update_seconds,
             )
 
     # ------------------------------------------------------------------ #
@@ -709,26 +748,33 @@ class ScoringService:
             interaction_targets,
             segment_indices,
         ) = MicroBatcher.assemble(requests)
+        timings = self._kernel_timings
         if self.remote_compute is not None:
-            batch = self.remote_compute(
-                snapshot,
-                action_sequences,
-                interaction_sequences,
-                action_targets,
-                interaction_targets,
-                segment_indices,
-            )
+            # The forward/score split happens inside the worker interpreter;
+            # the whole round-trip is attributed to "forward" (the dominant
+            # cost) rather than inventing an unobservable split.
+            with timings.measure("forward"):
+                batch = self.remote_compute(
+                    snapshot,
+                    action_sequences,
+                    interaction_sequences,
+                    action_targets,
+                    interaction_targets,
+                    segment_indices,
+                )
         else:
-            predicted_action, predicted_interaction, hidden, _ = snapshot.model.predict_full(
-                action_sequences, interaction_sequences
-            )
-            result = snapshot.detector.score_predictions(
-                segment_indices,
-                action_targets,
-                interaction_targets,
-                predicted_action,
-                predicted_interaction,
-            )
+            with timings.measure("forward"):
+                predicted_action, predicted_interaction, hidden, _ = snapshot.model.predict_full(
+                    action_sequences, interaction_sequences
+                )
+            with timings.measure("score"):
+                result = snapshot.detector.score_predictions(
+                    segment_indices,
+                    action_targets,
+                    interaction_targets,
+                    predicted_action,
+                    predicted_interaction,
+                )
             batch = BatchScores(
                 scores=result.scores,
                 action_errors=result.action_errors,
@@ -740,6 +786,8 @@ class ScoringService:
         self.stats.scoring_seconds += time.perf_counter() - started
         self.stats.segments_scored += len(requests)
         self.stats.batches += 1
+        self.stats.forward_seconds = timings.total("forward")
+        self.stats.score_seconds = timings.total("score")
         if batch_arrival is not None:
             # Flush-to-score latency: oldest queued arrival of this batch to
             # now, in ms.  Clamped at zero for ManualClock-driven replays
@@ -747,6 +795,7 @@ class ScoringService:
             self._latencies.append(max(0.0, (self._clock() - batch_arrival) * 1000.0))
 
         detections: List[StreamDetection] = []
+        precision = getattr(snapshot.model, "precision", "float64")
         for position, request in enumerate(requests):
             detection = StreamDetection(
                 stream_id=request.stream_id,
@@ -757,6 +806,7 @@ class ScoringService:
                 is_anomaly=bool(batch.is_anomaly[position]),
                 threshold=float(batch.threshold),
                 model_version=snapshot.version,
+                precision=precision,
             )
             detections.append(detection)
             self.session(request.stream_id).detections.append(detection)
@@ -800,7 +850,9 @@ class ScoringService:
                 # Close the Fig. 5 loop in-runtime: train on the drained
                 # presumed-normal buffer, merge, re-calibrate, publish.  The
                 # swap becomes visible at the next batch's snapshot pin.
-                self.update_plane.handle_trigger(trigger, samples)
+                with self._kernel_timings.measure("update"):
+                    self.update_plane.handle_trigger(trigger, samples)
+                self.stats.update_seconds = self._kernel_timings.total("update")
             if self.on_update_trigger is not None:
                 self.on_update_trigger(trigger)
 

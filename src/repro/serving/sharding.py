@@ -465,6 +465,9 @@ class ShardedScoringService:
             total.segments_scored += shard.stats.segments_scored
             total.batches += shard.stats.batches
             total.scoring_seconds += shard.stats.scoring_seconds
+            total.forward_seconds += shard.stats.forward_seconds
+            total.score_seconds += shard.stats.score_seconds
+            total.update_seconds += shard.stats.update_seconds
         return total
 
     def shard_stats(self) -> List[ServiceStats]:

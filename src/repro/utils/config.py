@@ -162,6 +162,25 @@ class ModelConfig(ConfigBase):
     interaction_hidden: int = 32
     """Hidden size h2 of LSTM_A."""
 
+    backend: str = "auto"
+    """Array backend of the fused kernels: 'auto' (resolve the REPRO_BACKEND
+    environment variable, default NumPy), 'numpy' or 'cupy'."""
+
+    precision: str = "float64"
+    """Compute precision of fused inference: 'float64' (default, bitwise
+    reference) or 'float32' (opt-in, tolerance-bounded against float64;
+    weights and threshold calibration stay float64 either way)."""
+
+    def __post_init__(self) -> None:
+        # Local import: utils stays import-light and nn owns the registries.
+        from ..nn.backend import BACKENDS, resolve_precision
+
+        if self.backend != "auto" and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend '{self.backend}'; options: {('auto',) + BACKENDS}"
+            )
+        resolve_precision(self.precision)
+
     def scaled(self, factor: float) -> "ModelConfig":
         """Return a proportionally smaller configuration (used by fast tests)."""
         if factor <= 0:
@@ -171,6 +190,8 @@ class ModelConfig(ConfigBase):
             interaction_dim=max(2, int(self.interaction_dim * factor)),
             action_hidden=max(4, int(self.action_hidden * factor)),
             interaction_hidden=max(2, int(self.interaction_hidden * factor)),
+            backend=self.backend,
+            precision=self.precision,
         )
 
 
@@ -199,6 +220,13 @@ class TrainingConfig(ConfigBase):
     use_fused: bool = True
     """Train through the analytic fused BPTT engine (:mod:`repro.nn.backprop`);
     ``False`` falls back to the per-op autograd tape (the correctness oracle)."""
+
+    tbptt_window: int | None = None
+    """Truncated-BPTT window K for streaming updates: the backward sweep only
+    covers the last K timesteps (exact full BPTT when sequences fit inside
+    the window), making incremental retrains O(window) instead of O(history).
+    ``None`` (default) runs full BPTT.  Requires the fused engine
+    (``use_fused=True``) — the tape path has no truncation."""
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -230,6 +258,16 @@ class TrainingConfig(ConfigBase):
             raise ValueError(
                 f"unknown action_loss '{self.action_loss}'; options: {sorted(ACTION_LOSSES)}"
             )
+        if self.tbptt_window is not None:
+            if not isinstance(self.tbptt_window, int) or self.tbptt_window < 1:
+                raise ValueError(
+                    f"tbptt_window must be a positive integer or None, got {self.tbptt_window!r}"
+                )
+            if not self.use_fused:
+                raise ValueError(
+                    "tbptt_window requires the fused training engine "
+                    "(use_fused=True); the autograd tape has no truncation"
+                )
 
 
 @dataclass(frozen=True)

@@ -602,6 +602,11 @@ class TestServerIngest:
                     "latency_p50_ms": shard.latency_p50_ms,
                     "latency_p95_ms": shard.latency_p95_ms,
                     "latency_p99_ms": shard.latency_p99_ms,
+                    "forward_seconds": shard.forward_seconds,
+                    "score_seconds": shard.score_seconds,
+                    "update_seconds": shard.update_seconds,
+                    "mean_forward_ms": shard.mean_forward_ms,
+                    "mean_score_ms": shard.mean_score_ms,
                     "throughput": shard.throughput,
                 }
             assert tenant["executor"] == runtime.executor_stats()
