@@ -68,10 +68,20 @@ from .serving import (
     UpdatePlane,
     replay_streams,
 )
+from .durability import (
+    CheckpointPolicy,
+    CheckpointStore,
+    DeltaSourceError,
+    PrometheusRenderer,
+    WriteAheadLog,
+    render_runtime_metrics,
+    render_server_metrics,
+)
 from .evaluation import ExperimentHarness, ExperimentScale, auroc, roc_curve
 from .runtime import Runtime, RuntimeConfig
 from .utils import (
     DetectionConfig,
+    DurabilityConfig,
     ExecutorConfig,
     ModelConfig,
     ServerConfig,
@@ -127,11 +137,19 @@ __all__ = [
     "replay_streams",
     "Runtime",
     "RuntimeConfig",
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "DeltaSourceError",
+    "PrometheusRenderer",
+    "WriteAheadLog",
+    "render_runtime_metrics",
+    "render_server_metrics",
     "ExperimentHarness",
     "ExperimentScale",
     "auroc",
     "roc_curve",
     "DetectionConfig",
+    "DurabilityConfig",
     "ExecutorConfig",
     "ModelConfig",
     "ServerConfig",

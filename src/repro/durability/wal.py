@@ -1,0 +1,422 @@
+"""Write-ahead ingest log: the replayable record of everything fed in.
+
+Checkpoints snapshot the runtime at one instant; everything ingested *after*
+the snapshot would be gone on a crash.  The WAL closes that window: every
+:meth:`Runtime.ingest` / :meth:`Runtime.ingest_many` call appends its
+submissions here **before** they reach the scoring service, so recovery is
+"restore the latest checkpoint, then replay the tail of the log" — and
+because the fused pipeline is deterministic, the replayed runtime lands on
+detections bitwise-identical to the uninterrupted run.
+
+Disk format
+-----------
+The log is a directory of append-only segment files::
+
+    wal-<checkpoint_id:06d>-<sequence:04d>.log
+
+``checkpoint_id`` names the checkpoint whose state the segment's records
+*follow* (segment rotation is keyed to checkpoint ids: taking checkpoint N
+rotates to ``wal-N-0000``); ``sequence`` increments when a segment of the
+same epoch is reopened (crash recovery never appends to a possibly-torn
+file — it starts a fresh segment).  Each segment starts with a 16-byte
+header (magic, checkpoint id, sequence) followed by CRC-framed records::
+
+    u32 payload_length | u32 crc32(payload) | payload
+
+A torn tail — a partial frame or a CRC mismatch from a crash mid-write —
+terminates replay of that segment: the damaged record and anything after it
+in the file is dropped, which is exactly right because nothing is ever
+appended after a torn record (recovery rotates first).  Payloads encode one
+ingest call: the record *kind* preserves whether submissions arrived as one
+:meth:`~Runtime.ingest` call or one :meth:`~Runtime.ingest_many` tick,
+because the two drive the micro-batcher differently and bitwise replay must
+re-drive it identically.  Feature arrays round-trip through raw IEEE-754
+bytes (``ndarray.tobytes`` / ``np.frombuffer``) — lossless by construction.
+
+Durability is fsync-batched: ``fsync_every=1`` (the default) makes every
+append call durable before the submission is scored; larger values trade the
+tail of a crash for fewer ``fsync`` stalls; ``0`` leaves flushing to the OS.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "WalPosition",
+    "WalRecord",
+    "WriteAheadLog",
+    "list_segments",
+    "read_segment",
+    "read_tail",
+]
+
+_MAGIC = b"RPROWAL1"
+_HEADER = struct.Struct("<8sII")  # magic, checkpoint_id, sequence
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_KIND_INGEST = 1  # one Runtime.ingest call (scored mid-call)
+_KIND_BATCH = 2  # one Runtime.ingest_many tick (enqueue all, then score)
+_MAX_PAYLOAD = 1 << 31  # sanity bound against garbage length fields
+
+Submission = Tuple[str, np.ndarray, np.ndarray, Optional[float]]
+
+
+class WalPosition(NamedTuple):
+    """A point in the log: segments sort by ``(checkpoint_id, sequence)``."""
+
+    checkpoint_id: int
+    sequence: int
+
+
+class WalRecord(NamedTuple):
+    """One decoded ingest call."""
+
+    kind: str  # "ingest" | "batch"
+    submissions: List[Submission]
+
+
+def _segment_name(position: WalPosition) -> str:
+    return f"wal-{position.checkpoint_id:06d}-{position.sequence:04d}.log"
+
+
+def _parse_segment_name(name: str) -> Optional[WalPosition]:
+    if not (name.startswith("wal-") and name.endswith(".log")):
+        return None
+    body = name[len("wal-") : -len(".log")]
+    head, _, tail = body.partition("-")
+    if not (head.isdigit() and tail.isdigit()):
+        return None
+    return WalPosition(int(head), int(tail))
+
+
+# ---------------------------------------------------------------------- #
+# Record codec
+# ---------------------------------------------------------------------- #
+def _encode_submission(out: io.BytesIO, submission: Sequence) -> None:
+    if len(submission) == 3:
+        stream_id, action, interaction = submission
+        level = None
+    elif len(submission) == 4:
+        stream_id, action, interaction, level = submission
+    else:
+        raise ValueError(
+            "submission must be (stream_id, action, interaction[, level]), "
+            f"got {len(submission)} elements"
+        )
+    sid = str(stream_id).encode("utf-8")
+    if len(sid) > 0xFFFF:
+        raise ValueError(f"stream id of {len(sid)} utf-8 bytes exceeds the WAL bound")
+    # The arrays are coerced exactly as the scoring session coerces them
+    # (float64), so the bytes logged are the bytes scored.
+    a = np.ascontiguousarray(np.asarray(action, dtype=np.float64).reshape(-1))
+    i = np.ascontiguousarray(np.asarray(interaction, dtype=np.float64).reshape(-1))
+    has_level = level is not None
+    out.write(struct.pack("<H", len(sid)))
+    out.write(sid)
+    out.write(struct.pack("<Bd", 1 if has_level else 0, float(level) if has_level else 0.0))
+    out.write(struct.pack("<I", a.shape[0]))
+    out.write(a.tobytes())
+    out.write(struct.pack("<I", i.shape[0]))
+    out.write(i.tobytes())
+
+
+def _decode_submission(buffer: memoryview, offset: int) -> Tuple[Submission, int]:
+    (sid_len,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    stream_id = bytes(buffer[offset : offset + sid_len]).decode("utf-8")
+    offset += sid_len
+    has_level, level = struct.unpack_from("<Bd", buffer, offset)
+    offset += 9
+    (a_len,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    action = np.frombuffer(buffer, dtype=np.float64, count=a_len, offset=offset).copy()
+    offset += 8 * a_len
+    (i_len,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    interaction = np.frombuffer(buffer, dtype=np.float64, count=i_len, offset=offset).copy()
+    offset += 8 * i_len
+    return (stream_id, action, interaction, level if has_level else None), offset
+
+
+def _encode_record(submissions: Sequence[Sequence], *, batch: bool) -> bytes:
+    out = io.BytesIO()
+    out.write(struct.pack("<BI", _KIND_BATCH if batch else _KIND_INGEST, len(submissions)))
+    for submission in submissions:
+        _encode_submission(out, submission)
+    return out.getvalue()
+
+
+def _decode_record(payload: bytes) -> WalRecord:
+    buffer = memoryview(payload)
+    kind, count = struct.unpack_from("<BI", buffer, 0)
+    if kind not in (_KIND_INGEST, _KIND_BATCH):
+        raise ValueError(f"unknown WAL record kind {kind}")
+    offset = 5
+    submissions: List[Submission] = []
+    for _ in range(count):
+        submission, offset = _decode_submission(buffer, offset)
+        submissions.append(submission)
+    return WalRecord("batch" if kind == _KIND_BATCH else "ingest", submissions)
+
+
+# ---------------------------------------------------------------------- #
+# Writer
+# ---------------------------------------------------------------------- #
+def _fsync_directory(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Appender over a directory of CRC-framed segments.
+
+    Not internally locked: the owning runtime serialises appends, rotation
+    and checkpointing under its durability lock (the log *is* the ingest
+    order, so callers must already be serialised for replay to mean
+    anything).
+    """
+
+    def __init__(self, directory: Union[str, Path], *, fsync_every: int = 1) -> None:
+        if fsync_every < 0:
+            raise ValueError(f"fsync_every must be >= 0, got {fsync_every}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_every = fsync_every
+        self._file: Optional[io.BufferedWriter] = None
+        self._position: Optional[WalPosition] = None
+        self._appends_since_sync = 0
+        self._unsynced_bytes = 0
+        # Cumulative counters (exported via stats()/Prometheus).
+        self.records_appended = 0
+        self.batches_appended = 0
+        self.bytes_appended = 0
+        self.bytes_fsynced = 0
+        self.fsyncs = 0
+        self.segments_created = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def position(self) -> Optional[WalPosition]:
+        """Position of the open segment (None before :meth:`open`)."""
+        return self._position
+
+    @property
+    def is_open(self) -> bool:
+        return self._file is not None
+
+    def open(self, checkpoint_id: int = 0) -> WalPosition:
+        """Start appending in epoch ``checkpoint_id``.
+
+        Always begins a *fresh* segment — one past the highest existing
+        sequence of that epoch — so recovery never appends after a tail that
+        may be torn.
+        """
+        if self._file is not None:
+            raise RuntimeError("write-ahead log is already open")
+        existing = [
+            position.sequence
+            for position, _ in list_segments(self.directory)
+            if position.checkpoint_id == checkpoint_id
+        ]
+        sequence = max(existing) + 1 if existing else 0
+        return self._start_segment(WalPosition(checkpoint_id, sequence))
+
+    def rotate(self, checkpoint_id: int) -> WalPosition:
+        """Close the open segment and begin the epoch of ``checkpoint_id``.
+
+        Called (under the runtime's durability lock) immediately before a
+        checkpoint's state export: the rotation point is the state cut, and
+        the new position is what the checkpoint manifest records as the start
+        of its replay tail.
+        """
+        if self._file is None:
+            raise RuntimeError("write-ahead log is not open")
+        current = self._position
+        self.sync()
+        self._file.close()
+        self._file = None
+        sequence = 0
+        if current is not None and current.checkpoint_id == checkpoint_id:
+            sequence = current.sequence + 1
+        return self._start_segment(WalPosition(checkpoint_id, sequence))
+
+    def _start_segment(self, position: WalPosition) -> WalPosition:
+        path = self.directory / _segment_name(position)
+        if path.exists():
+            raise FileExistsError(f"WAL segment already exists: {path}")
+        self._file = open(path, "xb")
+        self._file.write(_HEADER.pack(_MAGIC, position.checkpoint_id, position.sequence))
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        _fsync_directory(self.directory)  # the new name itself must survive
+        self._position = position
+        self._appends_since_sync = 0
+        self._unsynced_bytes = 0
+        self.segments_created += 1
+        return position
+
+    def append(self, submissions: Sequence[Sequence], *, batch: bool) -> None:
+        """Append one ingest call (``batch=False``) or one tick (``True``)."""
+        if self._file is None:
+            raise RuntimeError("write-ahead log is not open")
+        payload = _encode_record(submissions, batch=batch)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+        self._file.write(frame)
+        self._file.write(payload)
+        written = len(frame) + len(payload)
+        self.bytes_appended += written
+        self._unsynced_bytes += written
+        self.records_appended += len(submissions)
+        self.batches_appended += 1
+        self._appends_since_sync += 1
+        if self.fsync_every and self._appends_since_sync >= self.fsync_every:
+            self.sync()
+        else:
+            self._file.flush()
+
+    def sync(self) -> None:
+        """Flush and fsync the open segment."""
+        if self._file is None:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.fsyncs += 1
+        self.bytes_fsynced += self._unsynced_bytes
+        self._unsynced_bytes = 0
+        self._appends_since_sync = 0
+
+    def close(self) -> None:
+        """Sync and close the open segment (counters stay readable)."""
+        if self._file is None:
+            return
+        self.sync()
+        self._file.close()
+        self._file = None
+
+    def prune(self, position: WalPosition) -> int:
+        """Delete segments strictly before ``position``; returns the count.
+
+        Called after a durable-store checkpoint lands: segments before its
+        rotation point are fully contained in the checkpoint state and no
+        longer needed for recovery of the live chain.
+        """
+        removed = 0
+        for segment_position, path in list_segments(self.directory):
+            if segment_position < position and segment_position != self._position:
+                path.unlink()
+                removed += 1
+        if removed:
+            _fsync_directory(self.directory)
+        return removed
+
+    def stats(self) -> dict:
+        """JSON-safe counters for ``/stats`` and the Prometheus renderer."""
+        return {
+            "records_appended": self.records_appended,
+            "batches_appended": self.batches_appended,
+            "bytes_appended": self.bytes_appended,
+            "bytes_fsynced": self.bytes_fsynced,
+            "fsyncs": self.fsyncs,
+            "segments_created": self.segments_created,
+            "segments_on_disk": len(list_segments(self.directory)),
+            "fsync_every": self.fsync_every,
+            "position": list(self._position) if self._position else None,
+            "open": self.is_open,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Reader
+# ---------------------------------------------------------------------- #
+def list_segments(directory: Union[str, Path]) -> List[Tuple[WalPosition, Path]]:
+    """Every segment in ``directory``, sorted by ``(checkpoint_id, sequence)``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    segments = []
+    for path in directory.iterdir():
+        position = _parse_segment_name(path.name)
+        if position is not None:
+            segments.append((position, path))
+    segments.sort(key=lambda item: item[0])
+    return segments
+
+
+def read_segment(path: Union[str, Path]) -> Tuple[List[WalRecord], int]:
+    """Decode one segment; returns ``(records, torn_records)``.
+
+    A partial frame or CRC mismatch ends the segment: the damaged record is
+    dropped (counted in ``torn_records``) and — because appends never follow
+    a torn record — nothing valid can exist after it.  A corrupt *header*
+    (wrong magic, or a name that contradicts the header) raises: that is not
+    a crash artefact but real corruption.
+    """
+    data = Path(path).read_bytes()
+    if len(data) < _HEADER.size:
+        # Crash during segment creation: header never landed. Nothing to read.
+        return [], (1 if data else 0)
+    magic, checkpoint_id, sequence = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise ValueError(f"not a WAL segment (bad magic): {path}")
+    named = _parse_segment_name(Path(path).name)
+    if named is not None and named != (checkpoint_id, sequence):
+        raise ValueError(
+            f"WAL segment {path} header says {(checkpoint_id, sequence)} "
+            f"but its name says {tuple(named)}"
+        )
+    records: List[WalRecord] = []
+    offset = _HEADER.size
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            return records, 1  # torn frame header
+        length, crc = _FRAME.unpack_from(data, offset)
+        if length > _MAX_PAYLOAD or offset + _FRAME.size + length > len(data):
+            return records, 1  # torn payload (or garbage length)
+        payload = data[offset + _FRAME.size : offset + _FRAME.size + length]
+        if zlib.crc32(payload) != crc:
+            return records, 1  # torn mid-payload write
+        records.append(_decode_record(payload))
+        offset += _FRAME.size + length
+    return records, 0
+
+
+class ReplayTail(NamedTuple):
+    """Everything the log holds at or after one checkpoint's position."""
+
+    records: List[WalRecord]
+    segments: int
+    torn_records: int
+
+    @property
+    def submissions(self) -> int:
+        return sum(len(record.submissions) for record in self.records)
+
+
+def read_tail(directory: Union[str, Path], position: WalPosition) -> ReplayTail:
+    """Decode every record in segments at or after ``position``.
+
+    ``position`` is the ``(checkpoint_id, sequence)`` a checkpoint manifest
+    recorded at its rotation; the tail is what must be replayed on top of
+    that checkpoint's state.
+    """
+    records: List[WalRecord] = []
+    segments = 0
+    torn = 0
+    for segment_position, path in list_segments(directory):
+        if segment_position < position:
+            continue
+        segments += 1
+        decoded, torn_records = read_segment(path)
+        records.extend(decoded)
+        torn += torn_records
+    return ReplayTail(records, segments, torn)

@@ -34,15 +34,19 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .core.clstm import CLSTM
 from .core.detector import AnomalyDetector
 from .core.training import CLSTMTrainer, TrainingHistory
+from .durability.checkpoints import CheckpointStore, StoredCheckpoint
+from .durability.policy import CheckpointPolicy
+from .durability.wal import WalPosition, WriteAheadLog, read_tail
 from .features.pipeline import StreamFeatures
 from .nn.serialization import load_state, save_module, save_state
 from .serving.executor import build_executor
@@ -55,6 +59,7 @@ from .serving.service import (
     StreamDetection,
     UpdateTrigger,
     replay_streams,
+    validate_interaction_level,
 )
 from .serving.rebalance import Rebalancer
 from .serving.sharding import ShardedScoringService
@@ -62,6 +67,7 @@ from .utils.config import (
     _NESTED_CONFIGS,
     ConfigBase,
     DetectionConfig,
+    DurabilityConfig,
     ExecutorConfig,
     ModelConfig,
     ServerConfig,
@@ -73,18 +79,32 @@ from .utils.config import (
 
 __all__ = ["RuntimeConfig", "Runtime", "CHECKPOINT_FORMAT"]
 
-CHECKPOINT_FORMAT = 2
+CHECKPOINT_FORMAT = 3
 """Version tag written into every checkpoint manifest.
 
-Format 2 added ``plane_pending`` (queued-but-not-started background
-retrains, persisted instead of force-executed at checkpoint time) and the
-manifest's ``pending_updates`` count; format-1 checkpoints — which by
-construction had nothing queued — are still readable."""
+Format 3 added the durability plane's fields: ``kind`` (``"full"`` |
+``"delta"``), ``checkpoint_id``/``parent``/``delta_depth`` (the delta chain)
+and ``wal`` (the write-ahead-log position to replay from) — plus per-version
+``source`` entries pointing at the sibling checkpoint that physically holds
+a delta's reused weight files.  Format 2 added ``plane_pending``
+(queued-but-not-started background retrains, persisted instead of
+force-executed at checkpoint time) and the manifest's ``pending_updates``
+count; formats 1 and 2 — full checkpoints with no chain and no WAL — are
+still readable."""
 
-_READABLE_FORMATS = (1, 2)
+_READABLE_FORMATS = (1, 2, 3)
 
 _MANIFEST_FILE = "runtime.json"
 _STATE_FILE = "state.npz"
+
+
+def _fsync_path(path: Path) -> None:
+    """fsync one file or directory (directories hold the entry names)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -116,6 +136,13 @@ class RuntimeConfig(ConfigBase):
     server: ServerConfig = ServerConfig()
     """HTTP ingest tier parameters consumed by :meth:`Runtime.serve`
     (bind address, admission-control queue bound, batch/long-poll knobs)."""
+
+    durability: DurabilityConfig = DurabilityConfig()
+    """Durability plane (:mod:`repro.durability`): set ``directory`` and the
+    runtime write-ahead logs every ingest call, auto-checkpoints under the
+    configured policy (delta checkpoints with periodic compaction), and
+    :meth:`Runtime.recover` resumes the exact pre-crash state.  The default
+    (no directory) keeps the historical manual-checkpoint behaviour."""
 
     sharding: ShardingConfig = ShardingConfig()
     """Load-rebalancing policy over the shard set.  ``rebalance=True``
@@ -201,6 +228,18 @@ class Runtime:
         self.history: Optional[TrainingHistory] = None
         self._server = None  # RuntimeServer started via serve()
         self._closed = False
+        # Durability plane (attached by fit()/from_checkpoint() when
+        # config.durability.directory is set; None otherwise).  The lock
+        # serialises ingest against checkpointing: the WAL is the ingest
+        # order, so append+score must be atomic with respect to the
+        # rotation+export cut a checkpoint takes.
+        self._durability_lock = threading.RLock()
+        self._store: Optional[CheckpointStore] = None
+        self._wal: Optional[WriteAheadLog] = None
+        self._policy: Optional[CheckpointPolicy] = None
+        self._replayed_records = 0
+        self._replayed_torn = 0
+        self._last_seen_published = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -262,6 +301,7 @@ class Runtime:
         self.registry.publish(model, threshold, reason="initial", copy=False)
         historical = model.hidden_states(batch.action_sequences, batch.interaction_sequences)
         self._build_service(historical_hidden=historical)
+        self._attach_durability()
         return self
 
     def _build_service(
@@ -315,11 +355,28 @@ class Runtime:
         Returns the detections produced by any micro-batch this submission
         completed (usually for *earlier* segments — the latency/throughput
         trade of micro-batching; :meth:`drain` flushes the rest).
+
+        With durability attached the submission is validated and appended to
+        the write-ahead log *before* it is scored (write-ahead ordering:
+        anything that changed the runtime's state is on disk), and durable
+        ingest is serialised — the log is the ingest order.
         """
         self._require_serving()
-        return self.service.submit(
-            stream_id, action_feature, interaction_feature, interaction_level
+        if self._store is None:
+            return self.service.submit(
+                stream_id, action_feature, interaction_feature, interaction_level
+            )
+        (cleaned,) = self._validate_submissions(
+            [(stream_id, action_feature, interaction_feature, interaction_level)]
         )
+        with self._durability_lock:
+            if self._wal is not None:
+                self._wal.append([cleaned], batch=False)
+            detections = self.service.submit(*cleaned)
+            if self._policy is not None:
+                self._policy.note_records(1)
+        self._maybe_auto_checkpoint()
+        return detections
 
     def ingest_many(self, submissions) -> List[StreamDetection]:
         """Feed one tick of segments from many streams, then score once.
@@ -327,15 +384,37 @@ class Runtime:
         ``submissions`` is an iterable of ``(stream_id, action_feature,
         interaction_feature[, interaction_level])`` tuples.  Under a parallel
         executor this is the high-throughput ingest path: batches that fill
-        on different shards in the same tick are scored concurrently.
+        on different shards in the same tick are scored concurrently.  With
+        durability attached the whole tick is one WAL record (replay must
+        re-drive the micro-batcher with the same call shape).
         """
         self._require_serving()
-        return self.service.submit_many(submissions)
+        if self._store is None:
+            return self.service.submit_many(submissions)
+        cleaned = self._validate_submissions(submissions)
+        with self._durability_lock:
+            if self._wal is not None and cleaned:
+                self._wal.append(cleaned, batch=True)
+            detections = self.service.submit_many(cleaned)
+            if self._policy is not None:
+                self._policy.note_records(len(cleaned))
+        self._maybe_auto_checkpoint()
+        return detections
 
     def poll(self) -> List[StreamDetection]:
-        """Flush micro-batches whose wall-clock deadline has passed."""
+        """Flush micro-batches whose wall-clock deadline has passed.
+
+        Also the heartbeat of the time-based auto-checkpoint rule: a policy
+        with ``checkpoint_every_seconds`` fires at the next ingest or poll
+        after the interval elapses.
+        """
         self._require_serving()
-        return self.service.poll()
+        if self._store is None:
+            return self.service.poll()
+        with self._durability_lock:
+            detections = self.service.poll()
+        self._maybe_auto_checkpoint()
+        return detections
 
     def drain(self) -> List[StreamDetection]:
         """Score everything queued and wait for in-flight maintenance work.
@@ -346,7 +425,10 @@ class Runtime:
         after ``drain()`` the runtime is fully idle.
         """
         self._require_serving()
-        return self.service.drain()
+        if self._store is None:
+            return self.service.drain()
+        with self._durability_lock:
+            return self.service.drain()
 
     def replay(
         self,
@@ -416,6 +498,8 @@ class Runtime:
         if self.fitted:
             final = self.service.drain()
             self.service.close()
+        if self._wal is not None:
+            self._wal.close()
         self._closed = True
         return final
 
@@ -487,8 +571,18 @@ class Runtime:
     # ------------------------------------------------------------------ #
     # Durable checkpoint / restore
     # ------------------------------------------------------------------ #
-    def checkpoint(self, path: Union[str, Path]) -> Path:
+    def checkpoint(self, path: Optional[Union[str, Path]] = None) -> Path:
         """Persist the full runtime into the directory ``path``.
+
+        Without a ``path`` (durability attached) the checkpoint goes into the
+        durable store: a *delta* checkpoint chained on the store's latest —
+        only model versions absent from the parent manifest are rewritten —
+        compacted back to a full checkpoint every
+        ``durability.full_every`` checkpoints, with dead directories and WAL
+        segments pruned once the new checkpoint is durable.  With an explicit
+        ``path`` the checkpoint is always full and self-contained (the
+        historical behaviour); a durable runtime still rotates its WAL and
+        records the position, so :meth:`from_checkpoint` replays the tail.
 
         Layout: ``runtime.json`` (config, registry manifest, version
         pointer), one ``version_<n>.npz`` per retained registry snapshot
@@ -514,21 +608,122 @@ class Runtime:
         re-enqueues that queue, so queued maintenance work survives the
         process instead of being force-executed at checkpoint time or
         silently dropped at shutdown.
+
+        Every written file and the directories the renames mutate are
+        ``fsync``\\ ed, so the "previous checkpoint or loud failure" guarantee
+        holds through power failure, not just process death.
         """
         self._require_fitted()
         self._require_serving_built()
-        self.service.pause_maintenance()
-        try:
-            return self._checkpoint_paused(Path(path))
-        finally:
-            self.service.resume_maintenance()
+        if path is None and self._store is None:
+            raise RuntimeError(
+                "checkpoint() without a path requires the durability plane "
+                "(set RuntimeConfig.durability.directory) — or pass an explicit path"
+            )
+        with self._durability_lock:
+            self.service.pause_maintenance()
+            try:
+                if path is None:
+                    return self._checkpoint_store_paused()
+                return self._checkpoint_paused(Path(path))
+            finally:
+                self.service.resume_maintenance()
 
     def _checkpoint_paused(self, target: Path) -> Path:
+        """Full, self-contained checkpoint at an explicit path."""
+        checkpoint_id = None
+        wal_position = None
+        if self._store is not None:
+            # The cut must be a WAL rotation point even for out-of-store
+            # checkpoints: the manifest records where its replay tail starts.
+            checkpoint_id = self._store.allocate_id()
+            if self._wal is not None:
+                wal_position = self._wal.rotate(checkpoint_id)
         directory = target.parent / f".{target.name}.staging"
         if directory.exists():
             shutil.rmtree(directory)
         directory.mkdir(parents=True)
+        try:
+            self._write_checkpoint_files(
+                directory,
+                kind="full",
+                checkpoint_id=checkpoint_id,
+                parent=None,
+                wal_position=wal_position,
+            )
+        except BaseException:
+            shutil.rmtree(directory, ignore_errors=True)
+            raise
+        # Atomic swap: the complete staging directory replaces the target.
+        if target.exists():
+            discarded = target.parent / f".{target.name}.discarded"
+            if discarded.exists():
+                shutil.rmtree(discarded)
+            os.replace(target, discarded)
+            os.replace(directory, target)
+            shutil.rmtree(discarded)
+        else:
+            os.replace(directory, target)
+        # The renames live in the parent directory's entries; without this
+        # fsync a power cut can roll the whole swap back.
+        _fsync_path(target.parent)
+        if self._policy is not None:
+            self._policy.mark()
+        return target
 
+    def _checkpoint_store_paused(self) -> Path:
+        """Policy/auto checkpoint into the durable store (delta-chained)."""
+        store = self._store
+        config = self.config.durability
+        store.ensure_layout()
+        checkpoint_id = store.allocate_id()
+        wal_position = self._wal.rotate(checkpoint_id) if self._wal is not None else None
+        parent = store.latest()
+        kind = "full"
+        if config.delta and parent is not None:
+            if int(parent.manifest.get("delta_depth", 0)) + 1 < config.full_every:
+                kind = "delta"
+        target = store.directory_for(checkpoint_id)
+        directory = store.checkpoints_dir / f".{target.name}.staging"
+        if directory.exists():
+            shutil.rmtree(directory)
+        directory.mkdir(parents=True)
+        try:
+            self._write_checkpoint_files(
+                directory,
+                kind=kind,
+                checkpoint_id=checkpoint_id,
+                parent=parent if kind == "delta" else None,
+                wal_position=wal_position,
+            )
+        except BaseException:
+            shutil.rmtree(directory, ignore_errors=True)
+            raise
+        os.replace(directory, target)  # fresh id: the target can never exist
+        _fsync_path(store.checkpoints_dir)
+        if kind == "full":
+            store.written_full += 1
+        else:
+            store.written_delta += 1
+        # Retention, only now that the new checkpoint is durable: directories
+        # off the live chain first, then WAL segments before the rotation.
+        store.prune()
+        if self._wal is not None and wal_position is not None:
+            self._wal.prune(wal_position)
+        if self._policy is not None:
+            self._policy.mark()
+        return target
+
+    def _write_checkpoint_files(
+        self,
+        directory: Path,
+        *,
+        kind: str,
+        checkpoint_id: Optional[int],
+        parent: Optional[StoredCheckpoint],
+        wal_position: Optional[WalPosition],
+    ) -> Dict[str, Any]:
+        """Write weights/state/manifest (each fsynced) into ``directory``."""
         versions: List[Dict[str, Any]] = []
         # One consistent registry cut: both the weight files and the
         # manifest's version pointer derive from this single locked
@@ -537,32 +732,51 @@ class Runtime:
         # between the two reads and produce a manifest whose pointer exceeds
         # the saved weights — a checkpoint from_checkpoint() must reject.
         retained = self.registry.retained()
+        reuse: Dict[int, Tuple[str, str]] = {}
+        parent_name = None
+        delta_depth = 0
+        if kind == "delta":
+            # Resolves every reusable version to the sibling directory that
+            # physically holds its weights and verifies the files exist —
+            # raising DeltaSourceError (with the version ids) *now*, at write
+            # time, if eviction/compaction broke the chain.
+            reuse = self._store.delta_plan(
+                parent, [snapshot.version for snapshot in retained]
+            )
+            parent_name = parent.path.name
+            delta_depth = int(parent.manifest.get("delta_depth", 0)) + 1
         for snapshot in retained:
-            filename = f"version_{snapshot.version:06d}.npz"
-            save_module(
-                snapshot.model,
-                directory / filename,
-                metadata={
-                    "version": snapshot.version,
-                    "threshold": snapshot.threshold,
-                    "reason": snapshot.reason,
-                    "metadata": dict(snapshot.metadata),
-                },
-            )
-            versions.append(
-                {
-                    "version": snapshot.version,
-                    "threshold": snapshot.threshold,
-                    "reason": snapshot.reason,
-                    "metadata": dict(snapshot.metadata),
-                    "file": filename,
-                }
-            )
+            entry: Dict[str, Any] = {
+                "version": snapshot.version,
+                "threshold": snapshot.threshold,
+                "reason": snapshot.reason,
+                "metadata": dict(snapshot.metadata),
+            }
+            if snapshot.version in reuse:
+                source, filename = reuse[snapshot.version]
+                entry["file"] = filename
+                entry["source"] = source
+            else:
+                filename = f"version_{snapshot.version:06d}.npz"
+                save_module(
+                    snapshot.model,
+                    directory / filename,
+                    metadata={
+                        "version": snapshot.version,
+                        "threshold": snapshot.threshold,
+                        "reason": snapshot.reason,
+                        "metadata": dict(snapshot.metadata),
+                    },
+                )
+                _fsync_path(directory / filename)
+                entry["file"] = filename
+            versions.append(entry)
 
         arrays: Dict[str, np.ndarray] = {}
         state = self.service.export_state()
         structure = _pack(state, arrays)
         save_state(directory / _STATE_FILE, arrays, metadata={"state": structure})
+        _fsync_path(directory / _STATE_FILE)
 
         manifest = {
             "format": CHECKPOINT_FORMAT,
@@ -575,25 +789,34 @@ class Runtime:
             # Live shard count (may exceed config.serving.num_shards after
             # rebalancer splits); from_checkpoint rebuilds this topology.
             "num_shards": len(self.service.shards),
+            "kind": kind,
+            "checkpoint_id": checkpoint_id,
+            "parent": parent_name,
+            "delta_depth": delta_depth,
+            "wal": (
+                {
+                    "checkpoint_id": wal_position.checkpoint_id,
+                    "sequence": wal_position.sequence,
+                }
+                if wal_position is not None
+                else None
+            ),
         }
-        (directory / _MANIFEST_FILE).write_text(
-            json.dumps(manifest, indent=2), encoding="utf-8"
-        )
-        # Atomic swap: the complete staging directory replaces the target.
-        if target.exists():
-            discarded = target.parent / f".{target.name}.discarded"
-            if discarded.exists():
-                shutil.rmtree(discarded)
-            os.replace(target, discarded)
-            os.replace(directory, target)
-            shutil.rmtree(discarded)
-        else:
-            os.replace(directory, target)
-        return target
+        manifest_path = directory / _MANIFEST_FILE
+        manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        _fsync_path(manifest_path)
+        # The directory's entry list (every name written above) must be
+        # durable before the rename publishes it.
+        _fsync_path(directory)
+        return manifest
 
     @classmethod
     def from_checkpoint(
-        cls, path: Union[str, Path], *, clock: Optional[Callable[[], float]] = None
+        cls,
+        path: Union[str, Path],
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        replay_wal: bool = True,
     ) -> "Runtime":
         """Rebuild a fitted runtime from a :meth:`checkpoint` directory.
 
@@ -602,6 +825,16 @@ class Runtime:
         off, and resumes the drift monitor (history set, buffers, update
         counter) — so replaying the same tail of traffic produces
         **bitwise-identical** detections and version swaps.
+
+        Delta checkpoints resolve reused version files from the sibling
+        directories their manifest names (one level of indirection; a broken
+        chain raises :class:`FileNotFoundError` naming the missing file).
+        When the checkpoint lives inside a durability store — or
+        ``config.durability.directory`` points at one — the store is
+        re-attached and, unless ``replay_wal=False``, the write-ahead-log
+        tail recorded by the manifest is replayed through the scoring
+        service, recovering every submission ingested after the checkpoint.
+        :meth:`recover` is the "resume from the latest checkpoint" shorthand.
         """
         directory = Path(path)
         manifest_path = directory / _MANIFEST_FILE
@@ -621,8 +854,20 @@ class Runtime:
         if not entries:
             raise ValueError(f"checkpoint at {directory} holds no model versions")
         for entry in entries:
+            source = entry.get("source")
+            if source:
+                # Delta: the weights live in a sibling checkpoint directory.
+                weights_path = directory.parent / source / entry["file"]
+            else:
+                weights_path = directory / entry["file"]
+            if not weights_path.is_file():
+                raise FileNotFoundError(
+                    f"checkpoint at {directory} references version "
+                    f"{entry['version']} weights at {weights_path}, which do "
+                    f"not exist (broken delta chain)"
+                )
             model = CLSTM.from_config(config.model, coupling=config.coupling, seed=config.seed)
-            state, _ = load_state(directory / entry["file"])
+            state, _ = load_state(weights_path)
             model.load_state_dict(state)
             registry.restore(
                 entry["version"],
@@ -644,7 +889,200 @@ class Runtime:
 
         arrays, metadata = load_state(directory / _STATE_FILE)
         runtime.service.restore_state(_unpack(metadata["state"], arrays))
+
+        # Re-attach durability.  A checkpoint inside a store's layout
+        # (<root>/checkpoints/ckpt-NNNNNN) names its own root — which makes
+        # whole-store copies relocatable; otherwise fall back to the config.
+        root: Optional[Path] = None
+        if directory.parent.name == "checkpoints":
+            root = directory.parent.parent
+        elif config.durability.directory is not None:
+            root = Path(config.durability.directory)
+        runtime._attach_durability(root=root, manifest=manifest, replay_wal=replay_wal)
         return runtime
+
+    @classmethod
+    def recover(
+        cls,
+        directory: Union[str, Path],
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        replay_wal: bool = True,
+    ) -> "Runtime":
+        """Resume from the latest checkpoint of a durability directory.
+
+        ``directory`` is the ``RuntimeConfig.durability.directory`` root the
+        crashed process was running with.  Restores the newest valid
+        checkpoint in its store and replays the write-ahead-log tail, landing
+        on the exact state the crashed process had durably reached — a
+        SIGKILL at any record boundary resumes bitwise-identical.
+        """
+        store = CheckpointStore(directory)
+        latest = store.latest()
+        if latest is None:
+            raise FileNotFoundError(
+                f"no recoverable checkpoint under {store.checkpoints_dir}"
+            )
+        return cls.from_checkpoint(latest.path, clock=clock, replay_wal=replay_wal)
+
+    # ------------------------------------------------------------------ #
+    # Durability plane internals
+    # ------------------------------------------------------------------ #
+    def _attach_durability(
+        self,
+        *,
+        root: Optional[Path] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+        replay_wal: bool = True,
+    ) -> None:
+        """Stand the WAL + store + policy up for a fitted runtime.
+
+        ``manifest`` is the checkpoint this runtime was restored from (None
+        on a fresh fit); its recorded WAL position is the replay point.
+        """
+        config = self.config.durability
+        if root is None:
+            root = Path(config.directory) if config.directory is not None else None
+        if root is None:
+            return
+        store = CheckpointStore(root)
+        if manifest is None and store.latest() is not None:
+            raise RuntimeError(
+                f"durability directory {root} already holds checkpoints; "
+                f"Runtime.recover({str(root)!r}) resumes them — fitting fresh "
+                f"over a live store would fork its history"
+            )
+        store.ensure_layout()
+        self._store = store
+        self._policy = CheckpointPolicy(
+            every_records=config.checkpoint_every_records,
+            every_updates=config.checkpoint_every_updates,
+            every_seconds=config.checkpoint_every_seconds,
+            clock=self._clock,
+        )
+        position: Optional[WalPosition] = None
+        if manifest is not None and manifest.get("wal") is not None:
+            wal_info = manifest["wal"]
+            position = WalPosition(
+                int(wal_info["checkpoint_id"]), int(wal_info["sequence"])
+            )
+        if position is not None and replay_wal:
+            self._replay_wal_tail(position)
+        if config.wal:
+            wal = WriteAheadLog(store.wal_dir, fsync_every=config.wal_fsync_every)
+            if position is not None:
+                epoch = position.checkpoint_id
+            elif manifest is not None:
+                epoch = int(manifest.get("checkpoint_id") or 0)
+            else:
+                epoch = 0
+            # open() always starts a fresh segment (sequence one past the
+            # highest on disk): recovery never appends to a possibly-torn
+            # tail, and the new segment sorts after every replayed one.
+            wal.open(epoch)
+            self._wal = wal
+        self._last_seen_published = (
+            self.registry.highest_published if self.registry is not None else 0
+        )
+
+    def _replay_wal_tail(self, position: WalPosition) -> None:
+        """Re-drive every logged ingest call at or after ``position``."""
+        tail = read_tail(self._store.wal_dir, position)
+        if tail.segments == 0:
+            raise RuntimeError(
+                f"checkpoint expects write-ahead-log segments at or after "
+                f"{tuple(position)} but {self._store.wal_dir} holds none "
+                f"(pruned or moved); pass replay_wal=False to accept the "
+                f"checkpoint state without the logged tail"
+            )
+        for record in tail.records:
+            # The record kind preserves the original call shape — an
+            # ingest_many tick drives the micro-batcher differently from a
+            # sequence of single submits, and bitwise replay needs the same.
+            if record.kind == "batch":
+                self.service.submit_many(record.submissions)
+            else:
+                for submission in record.submissions:
+                    self.service.submit(*submission)
+        self._replayed_records = tail.submissions
+        self._replayed_torn = tail.torn_records
+
+    def _validate_submissions(
+        self, submissions: Iterable[Sequence]
+    ) -> List[Tuple[str, np.ndarray, np.ndarray, Optional[float]]]:
+        """Normalise and fully validate submissions *before* the WAL append.
+
+        Anything that would make the scoring service raise must be rejected
+        here: a submission that reached the log but not the service would
+        replay into state the original run never had.  The arrays are
+        coerced exactly as the scoring session coerces them (flat float64),
+        so the bytes logged are the bytes scored.
+        """
+        model = self.config.model
+        cleaned: List[Tuple[str, np.ndarray, np.ndarray, Optional[float]]] = []
+        for submission in submissions:
+            if len(submission) == 3:
+                stream_id, action, interaction = submission
+                level = None
+            elif len(submission) == 4:
+                stream_id, action, interaction, level = submission
+            else:
+                raise ValueError(
+                    "submission must be (stream_id, action_feature, "
+                    f"interaction_feature[, interaction_level]), got "
+                    f"{len(submission)} elements"
+                )
+            if level is not None:
+                validate_interaction_level(level)
+                level = float(level)
+            action = np.ascontiguousarray(
+                np.asarray(action, dtype=np.float64).reshape(-1)
+            )
+            interaction = np.ascontiguousarray(
+                np.asarray(interaction, dtype=np.float64).reshape(-1)
+            )
+            if action.shape[0] != model.action_dim:
+                raise ValueError(
+                    f"action_feature has {action.shape[0]} elements but "
+                    f"ModelConfig.action_dim={model.action_dim}"
+                )
+            if interaction.shape[0] != model.interaction_dim:
+                raise ValueError(
+                    f"interaction_feature has {interaction.shape[0]} elements "
+                    f"but ModelConfig.interaction_dim={model.interaction_dim}"
+                )
+            cleaned.append((str(stream_id), action, interaction, level))
+        return cleaned
+
+    def _maybe_auto_checkpoint(self) -> None:
+        """Fire the checkpoint policy if any of its rules are due."""
+        policy = self._policy
+        if policy is None or not policy.enabled:
+            return
+        published = self.registry.highest_published
+        if published > self._last_seen_published:
+            policy.note_updates(published - self._last_seen_published)
+            self._last_seen_published = published
+        if not policy.due():
+            return
+        with self._durability_lock:
+            # Re-check under the lock: a concurrent ingest may have just
+            # checkpointed and reset the counters.
+            if self._policy is not None and self._policy.due():
+                self.checkpoint()
+
+    def durability_stats(self) -> Dict[str, Any]:
+        """JSON-safe durability counters for ``/stats`` and ``/metrics``."""
+        if self._store is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "wal": self._wal.stats() if self._wal is not None else None,
+            "checkpoints": self._store.stats(),
+            "policy": self._policy.stats() if self._policy is not None else None,
+            "replayed_records": self._replayed_records,
+            "replayed_torn_records": self._replayed_torn,
+        }
 
     # ------------------------------------------------------------------ #
     # Internals

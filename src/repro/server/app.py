@@ -28,6 +28,7 @@ import time
 from http.server import ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..durability.metrics import render_server_metrics
 from ..utils.config import ServerConfig
 from .admission import AdmissionController
 from .handlers import RuntimeRequestHandler
@@ -343,6 +344,10 @@ class RuntimeServer:
     def handle_stats(self) -> dict:
         return self.stats()
 
+    def handle_metrics(self) -> str:
+        """The Prometheus exposition document for ``GET /metrics``."""
+        return render_server_metrics(self)
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -363,31 +368,9 @@ class RuntimeServer:
                 "pending_updates": runtime.service.pending_updates,
                 "segments_scored": runtime.stats.segments_scored,
                 "batches": runtime.stats.batches,
-                "shards": [
-                    {
-                        "shard_index": shard.shard_index,
-                        "streams": shard.streams,
-                        "queue_depth": shard.queue_depth,
-                        "segments_scored": shard.segments_scored,
-                        "batches": shard.batches,
-                        "scoring_seconds": shard.scoring_seconds,
-                        "max_batch_size": shard.max_batch_size,
-                        "mean_batch_size": shard.mean_batch_size,
-                        "batch_occupancy": shard.batch_occupancy,
-                        "mean_batch_latency_ms": shard.mean_batch_latency_ms,
-                        "latency_p50_ms": shard.latency_p50_ms,
-                        "latency_p95_ms": shard.latency_p95_ms,
-                        "latency_p99_ms": shard.latency_p99_ms,
-                        "forward_seconds": shard.forward_seconds,
-                        "score_seconds": shard.score_seconds,
-                        "update_seconds": shard.update_seconds,
-                        "mean_forward_ms": shard.mean_forward_ms,
-                        "mean_score_ms": shard.mean_score_ms,
-                        "throughput": shard.throughput,
-                    }
-                    for shard in runtime.load_stats()
-                ],
+                "shards": [shard.to_dict() for shard in runtime.load_stats()],
                 "executor": runtime.executor_stats(),
                 "rebalance": runtime.rebalance_stats(),
+                "durability": runtime.durability_stats(),
             }
         return {"admission": self.admission.stats(), "tenants": tenants}

@@ -14,6 +14,7 @@ Routes
 ``POST /v1/drain``              flush every queue; returns per-tenant counts
 ``GET  /healthz``               liveness + per-tenant model versions
 ``GET  /stats``                 admission + per-tenant serving counters
+``GET  /metrics``               Prometheus text exposition of the same counters
 ==============================  =====================================________
 """
 
@@ -24,6 +25,7 @@ from http.server import BaseHTTPRequestHandler
 from typing import Iterable, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..durability.metrics import CONTENT_TYPE as _METRICS_CONTENT_TYPE
 from .wire import WireError
 
 __all__ = ["RuntimeRequestHandler"]
@@ -58,6 +60,14 @@ class RuntimeRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         for name, value in headers:
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -100,6 +110,8 @@ class RuntimeRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self.app.handle_health())
             elif route == "/stats":
                 self._send_json(200, self.app.handle_stats())
+            elif route == "/metrics":
+                self._send_text(200, self.app.handle_metrics(), _METRICS_CONTENT_TYPE)
             elif route == "/v1/detections":
                 self._send_json(200, self.app.handle_detections(self._query()))
             else:

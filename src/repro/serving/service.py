@@ -270,6 +270,35 @@ class ShardStats:
             return 0.0
         return self.segments_scored / self.scoring_seconds
 
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe view: every field plus every derived property.
+
+        The single source of the wire shape ``/stats`` serves per shard —
+        the HTTP tier and the Prometheus renderer both read this, so a field
+        added here shows up everywhere at once.
+        """
+        return {
+            "shard_index": self.shard_index,
+            "streams": self.streams,
+            "queue_depth": self.queue_depth,
+            "segments_scored": self.segments_scored,
+            "batches": self.batches,
+            "scoring_seconds": self.scoring_seconds,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_occupancy": self.batch_occupancy,
+            "mean_batch_latency_ms": self.mean_batch_latency_ms,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "forward_seconds": self.forward_seconds,
+            "score_seconds": self.score_seconds,
+            "update_seconds": self.update_seconds,
+            "mean_forward_ms": self.mean_forward_ms,
+            "mean_score_ms": self.mean_score_ms,
+            "throughput": self.throughput,
+        }
+
 
 @dataclass(frozen=True)
 class BatchScores:

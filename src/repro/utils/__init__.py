@@ -6,6 +6,7 @@ from .config import (
     ModelConfig,
     TrainingConfig,
     DetectionConfig,
+    DurabilityConfig,
     ServingConfig,
     ExecutorConfig,
     ShardingConfig,
@@ -22,6 +23,7 @@ __all__ = [
     "ModelConfig",
     "TrainingConfig",
     "DetectionConfig",
+    "DurabilityConfig",
     "ServingConfig",
     "ExecutorConfig",
     "ShardingConfig",

@@ -525,6 +525,90 @@ class ServerConfig(ConfigBase):
 
 
 @dataclass(frozen=True)
+class DurabilityConfig(ConfigBase):
+    """Durability plane parameters (:mod:`repro.durability`).
+
+    Everything hangs off ``directory``: when set, the runtime write-ahead
+    logs every ingest call before scoring it, auto-checkpoints under the
+    configured policy, chains delta checkpoints with periodic compaction,
+    and :meth:`repro.runtime.Runtime.recover` restores the latest checkpoint
+    plus the WAL tail to the exact pre-crash state.  When ``None`` (the
+    default) the runtime behaves exactly as before: manual full checkpoints
+    only, no logging.
+    """
+
+    directory: str | None = None
+    """Root of the durable store (``checkpoints/`` and ``wal/`` live under
+    it).  ``None`` disables the whole durability plane."""
+
+    wal: bool = True
+    """Write-ahead log every ingest call (requires ``directory``).  ``False``
+    keeps policy-driven checkpoints but accepts losing the segments ingested
+    since the last one on a crash."""
+
+    wal_fsync_every: int = 1
+    """fsync the WAL after every Nth append call.  ``1`` (default) makes
+    every ingest call durable before it is scored; larger values batch the
+    fsyncs (bounded tail loss on power failure); ``0`` leaves flushing to
+    the OS."""
+
+    checkpoint_every_records: int | None = None
+    """Auto-checkpoint after this many ingested submissions (``None`` = no
+    record-count rule)."""
+
+    checkpoint_every_updates: int | None = None
+    """Auto-checkpoint after this many model publishes (``None`` = no
+    publish-count rule)."""
+
+    checkpoint_every_seconds: float | None = None
+    """Auto-checkpoint once this much time has passed since the last one,
+    measured on the runtime's injectable clock and evaluated at
+    ingest/poll boundaries (``None`` = no time rule)."""
+
+    delta: bool = True
+    """Write delta checkpoints (only model versions absent from the parent
+    manifest) between compactions; ``False`` makes every checkpoint full."""
+
+    full_every: int = 8
+    """Compaction period: force a full checkpoint once the delta chain would
+    reach this depth (``1`` = every checkpoint is full)."""
+
+    def __post_init__(self) -> None:
+        if self.wal_fsync_every < 0:
+            raise ValueError(
+                f"DurabilityConfig.wal_fsync_every must be >= 0, got {self.wal_fsync_every}"
+            )
+        if self.checkpoint_every_records is not None and self.checkpoint_every_records < 1:
+            raise ValueError(
+                f"DurabilityConfig.checkpoint_every_records must be positive when set, "
+                f"got {self.checkpoint_every_records}"
+            )
+        if self.checkpoint_every_updates is not None and self.checkpoint_every_updates < 1:
+            raise ValueError(
+                f"DurabilityConfig.checkpoint_every_updates must be positive when set, "
+                f"got {self.checkpoint_every_updates}"
+            )
+        if self.checkpoint_every_seconds is not None and self.checkpoint_every_seconds <= 0:
+            raise ValueError(
+                f"DurabilityConfig.checkpoint_every_seconds must be positive when set, "
+                f"got {self.checkpoint_every_seconds}"
+            )
+        if self.full_every < 1:
+            raise ValueError(
+                f"DurabilityConfig.full_every must be positive, got {self.full_every}"
+            )
+        if self.directory is None and (
+            self.checkpoint_every_records is not None
+            or self.checkpoint_every_updates is not None
+            or self.checkpoint_every_seconds is not None
+        ):
+            raise ValueError(
+                "DurabilityConfig checkpoint policy rules require a directory: "
+                "set DurabilityConfig.directory or drop the checkpoint_every_* knobs"
+            )
+
+
+@dataclass(frozen=True)
 class ShardingConfig(ConfigBase):
     """Load-aware shard routing and topology policy (:mod:`repro.serving.rebalance`).
 
@@ -591,6 +675,7 @@ class ShardingConfig(ConfigBase):
 __all__ += [
     "ServingConfig",
     "ExecutorConfig",
+    "DurabilityConfig",
     "ShardingConfig",
     "UpdateConfig",
     "ServerConfig",
@@ -604,6 +689,7 @@ _NESTED_CONFIGS.update(
         "DetectionConfig": DetectionConfig,
         "ServingConfig": ServingConfig,
         "ExecutorConfig": ExecutorConfig,
+        "DurabilityConfig": DurabilityConfig,
         "ShardingConfig": ShardingConfig,
         "UpdateConfig": UpdateConfig,
         "ServerConfig": ServerConfig,

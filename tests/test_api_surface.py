@@ -24,8 +24,12 @@ EXPECTED_REPRO_ALL = sorted(
         "CLSTM",
         "CLSTMSingleCouplingDetector",
         "CLSTMTrainer",
+        "CheckpointPolicy",
+        "CheckpointStore",
+        "DeltaSourceError",
         "DetectionConfig",
         "DetectionResult",
+        "DurabilityConfig",
         "ExecutorConfig",
         "ExperimentHarness",
         "ExperimentScale",
@@ -40,6 +44,7 @@ EXPECTED_REPRO_ALL = sorted(
         "ModelSnapshot",
         "ParallelExecutor",
         "ProcessParallelExecutor",
+        "PrometheusRenderer",
         "RTFMDetector",
         "RebalanceDecision",
         "Rebalancer",
@@ -64,12 +69,15 @@ EXPECTED_REPRO_ALL = sorted(
         "UpdateConfig",
         "UpdatePlane",
         "VECDetector",
+        "WriteAheadLog",
         "all_detectors",
         "auroc",
         "dataset_profile",
         "load_all_datasets",
         "load_dataset",
         "reia_score",
+        "render_runtime_metrics",
+        "render_server_metrics",
         "replay_streams",
         "roc_curve",
         "__version__",

@@ -408,7 +408,7 @@ class TestPendingUpdateResume:
 
         directory = original.checkpoint(tmp_path / "ckpt")
         manifest = json.loads((directory / "runtime.json").read_text("utf-8"))
-        assert manifest["format"] == 2
+        assert manifest["format"] == 3
         assert manifest["pending_updates"] == pending
 
         restored = Runtime.from_checkpoint(directory)

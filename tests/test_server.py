@@ -613,3 +613,80 @@ class TestServerIngest:
             assert tenant["rebalance"] == runtime.rebalance_stats()
             assert tenant["rebalance"]["enabled"] is False
         runtime.close()
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus scrape endpoint
+# ---------------------------------------------------------------------- #
+class TestMetricsEndpoint:
+    def scrape(self, server):
+        """GET /metrics raw (it is text, not JSON like the other routes)."""
+        request = urllib.request.Request(f"{server.url}/metrics")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return (
+                response.status,
+                response.read().decode("utf-8"),
+                dict(response.headers),
+            )
+
+    def test_metrics_parse_and_agree_with_library_counters(
+        self, server_runtime_config, tiny_features
+    ):
+        from test_durability import parse_exposition
+
+        from repro.durability.metrics import CONTENT_TYPE
+
+        runtime = Runtime.from_config(server_runtime_config).fit(tiny_features)
+        streams = make_wire_streams(server_runtime_config, streams=2, segments=20)
+        segments = [wire_segment(*item) for item in round_robin(streams)]
+        with runtime.serve() as server:
+            http_json("POST", f"{server.url}/v1/ingest", payload={"segments": segments})
+            http_json("POST", f"{server.url}/v1/drain")
+            status, body, headers = self.scrape(server)
+            assert status == 200
+            assert headers["Content-Type"] == CONTENT_TYPE
+
+            # The body must be structurally valid exposition format 0.0.4
+            # (parse_exposition asserts the format rules) and the numbers
+            # must agree with the library API the server wraps.
+            families = parse_exposition(body)
+            admission = server.admission.stats()
+            tenant = {"tenant": "default"}
+
+            def sample(name, labels):
+                for sample_labels, value in families[f"repro_{name}"]["samples"]:
+                    if sample_labels == labels:
+                        return value
+                raise AssertionError(f"no sample repro_{name}{labels}")
+
+            assert sample("admission_accepted_total", {}) == admission["accepted"]
+            assert sample("admission_rejected_total", {}) == admission["rejected"]
+            assert sample("model_version", tenant) == runtime.model_version
+            assert (
+                sample("segments_scored_total", tenant)
+                == runtime.stats.segments_scored
+            )
+            assert sample("batches_total", tenant) == runtime.stats.batches
+            for shard in runtime.load_stats():
+                labels = {"tenant": "default", "shard": str(shard.shard_index)}
+                assert (
+                    sample("shard_segments_scored_total", labels)
+                    == shard.segments_scored
+                )
+                assert sample("shard_batches_total", labels) == shard.batches
+            # Counter families are typed as counters.
+            assert families["repro_segments_scored_total"]["type"] == "counter"
+            assert families["repro_admission_accepted_total"]["type"] == "counter"
+            # Durability is off for this runtime, and says so.
+            assert sample("durability_enabled", tenant) == 0
+        runtime.close()
+
+    def test_stats_endpoint_reports_durability(
+        self, server_runtime_config, tiny_features
+    ):
+        runtime = Runtime.from_config(server_runtime_config).fit(tiny_features)
+        with runtime.serve() as server:
+            status, stats, _ = http_json("GET", f"{server.url}/stats")
+            assert status == 200
+            assert stats["tenants"]["default"]["durability"] == {"enabled": False}
+        runtime.close()

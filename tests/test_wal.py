@@ -1,0 +1,263 @@
+"""Unit tests for the write-ahead ingest log (repro.durability.wal).
+
+Covers the disk format's crash contract in isolation: bitwise codec
+round-trips, fresh-segment-on-open (never append after a possibly-torn
+tail), rotation keyed to checkpoint ids, torn-tail detection at every byte
+boundary, pruning, and the fsync-batching counters.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.durability.wal import (
+    WalPosition,
+    WriteAheadLog,
+    _decode_record,
+    _encode_record,
+    list_segments,
+    read_segment,
+    read_tail,
+)
+
+
+def make_submission(rng, *, stream="cam-0", dims=(6, 3), level=0.5):
+    return (
+        stream,
+        rng.standard_normal(dims[0]),
+        rng.standard_normal(dims[1]),
+        level,
+    )
+
+
+class TestRecordCodec:
+    def test_round_trips_bitwise(self):
+        rng = np.random.default_rng(0)
+        submissions = [
+            make_submission(rng, stream="cam-0", level=0.25),
+            make_submission(rng, stream="καμ-1", level=None),  # non-ASCII id
+            make_submission(rng, stream="cam-2", level=-1.5e-300),
+        ]
+        record = _decode_record(_encode_record(submissions, batch=True))
+        assert record.kind == "batch"
+        assert len(record.submissions) == 3
+        for original, decoded in zip(submissions, record.submissions):
+            assert decoded[0] == original[0]
+            # Bitwise: the exact IEEE-754 payload, not approximate equality.
+            assert decoded[1].tobytes() == np.asarray(
+                original[1], dtype=np.float64
+            ).tobytes()
+            assert decoded[2].tobytes() == np.asarray(
+                original[2], dtype=np.float64
+            ).tobytes()
+            assert decoded[3] == original[3]
+
+    def test_kind_is_preserved(self):
+        rng = np.random.default_rng(1)
+        single = _decode_record(
+            _encode_record([make_submission(rng)], batch=False)
+        )
+        assert single.kind == "ingest"
+
+    def test_submission_arity_is_validated(self):
+        with pytest.raises(ValueError, match="stream_id, action"):
+            _encode_record([("cam-0", np.zeros(3))], batch=False)
+
+    def test_three_element_submission_means_unknown_level(self):
+        rng = np.random.default_rng(2)
+        record = _decode_record(
+            _encode_record(
+                [("cam-0", rng.standard_normal(4), rng.standard_normal(2))],
+                batch=False,
+            )
+        )
+        assert record.submissions[0][3] is None
+
+
+class TestWriter:
+    def test_open_append_read_round_trip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        wal = WriteAheadLog(tmp_path)
+        position = wal.open(0)
+        assert position == WalPosition(0, 0)
+        first = [make_submission(rng)]
+        second = [make_submission(rng), make_submission(rng, stream="cam-1")]
+        wal.append(first, batch=False)
+        wal.append(second, batch=True)
+        wal.close()
+
+        tail = read_tail(tmp_path, WalPosition(0, 0))
+        assert tail.segments == 1
+        assert tail.torn_records == 0
+        assert [record.kind for record in tail.records] == ["ingest", "batch"]
+        assert tail.submissions == 3
+
+    def test_open_never_reuses_a_sequence(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.open(0)
+        wal.close()
+        # A recovering process must start a fresh segment: the previous tail
+        # may be torn and nothing is ever appended after a torn record.
+        again = WriteAheadLog(tmp_path)
+        assert again.open(0) == WalPosition(0, 1)
+        again.close()
+        positions = [position for position, _ in list_segments(tmp_path)]
+        assert positions == [WalPosition(0, 0), WalPosition(0, 1)]
+
+    def test_rotate_starts_the_checkpoint_epoch(self, tmp_path):
+        rng = np.random.default_rng(4)
+        wal = WriteAheadLog(tmp_path)
+        wal.open(0)
+        wal.append([make_submission(rng)], batch=False)
+        assert wal.rotate(1) == WalPosition(1, 0)
+        wal.append([make_submission(rng)], batch=False)
+        # Same-epoch rotation (explicit-path checkpoint twice between store
+        # checkpoints) bumps the sequence instead.
+        assert wal.rotate(1) == WalPosition(1, 1)
+        wal.close()
+        tail = read_tail(tmp_path, WalPosition(1, 0))
+        assert tail.segments == 2
+        assert tail.submissions == 1  # the epoch-0 record is before the cut
+
+    def test_prune_removes_segments_before_position(self, tmp_path):
+        rng = np.random.default_rng(5)
+        wal = WriteAheadLog(tmp_path)
+        wal.open(0)
+        wal.append([make_submission(rng)], batch=False)
+        wal.rotate(1)
+        wal.append([make_submission(rng)], batch=False)
+        position = wal.rotate(2)
+        removed = wal.prune(position)
+        assert removed == 2
+        remaining = [position for position, _ in list_segments(tmp_path)]
+        assert remaining == [WalPosition(2, 0)]
+        wal.close()
+
+    def test_fsync_batching_counters(self, tmp_path):
+        rng = np.random.default_rng(6)
+        wal = WriteAheadLog(tmp_path, fsync_every=3)
+        wal.open(0)
+        for _ in range(7):
+            wal.append([make_submission(rng)], batch=False)
+        # 7 appends at fsync_every=3 -> syncs after the 3rd and 6th.
+        assert wal.fsyncs == 2
+        assert wal.records_appended == 7
+        assert wal.batches_appended == 7
+        assert wal.bytes_fsynced < wal.bytes_appended
+        wal.close()  # close syncs the remainder
+        assert wal.bytes_fsynced == wal.bytes_appended
+        stats = wal.stats()
+        assert stats["records_appended"] == 7
+        assert stats["segments_on_disk"] == 1
+        assert stats["open"] is False
+
+    def test_fsync_every_zero_leaves_flushing_to_the_os(self, tmp_path):
+        rng = np.random.default_rng(7)
+        wal = WriteAheadLog(tmp_path, fsync_every=0)
+        wal.open(0)
+        wal.append([make_submission(rng)], batch=False)
+        assert wal.fsyncs == 0
+        wal.close()
+        assert wal.fsyncs == 1  # close always syncs
+
+    def test_append_requires_open(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        with pytest.raises(RuntimeError, match="not open"):
+            wal.append([("cam-0", np.zeros(3), np.zeros(2), None)], batch=False)
+        with pytest.raises(RuntimeError, match="not open"):
+            wal.rotate(1)
+
+    def test_double_open_is_refused(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.open(0)
+        with pytest.raises(RuntimeError, match="already open"):
+            wal.open(1)
+        wal.close()
+
+
+class TestTornTails:
+    def write_reference(self, tmp_path, records=3, seed=8):
+        rng = np.random.default_rng(seed)
+        wal = WriteAheadLog(tmp_path)
+        wal.open(0)
+        for _ in range(records):
+            wal.append([make_submission(rng)], batch=False)
+        wal.close()
+        (_, path), = list_segments(tmp_path)
+        return path
+
+    def test_truncation_at_every_byte_drops_only_the_torn_record(self, tmp_path):
+        path = self.write_reference(tmp_path)
+        data = path.read_bytes()
+        full_records, _ = read_segment(path)
+        assert len(full_records) == 3
+        # Record boundaries: parse the frame chain.
+        boundaries = [16]  # header size
+        offset = 16
+        while offset < len(data):
+            length, _ = struct.unpack_from("<II", data, offset)
+            offset += 8 + length
+            boundaries.append(offset)
+        assert boundaries[-1] == len(data)
+        for cut in range(len(data) + 1):
+            path.write_bytes(data[:cut])
+            if cut < 16:
+                records, torn = read_segment(path)
+                assert records == []
+                assert torn == (1 if cut else 0)
+                continue
+            records, torn = read_segment(path)
+            complete = sum(1 for b in boundaries if b <= cut) - 1
+            assert len(records) == complete, f"cut at byte {cut}"
+            assert torn == (0 if cut in boundaries else 1), f"cut at byte {cut}"
+            # Whatever survives is bitwise-identical to the uncut prefix.
+            for kept, original in zip(records, full_records):
+                assert kept.kind == original.kind
+                for left, right in zip(kept.submissions, original.submissions):
+                    assert left[0] == right[0]
+                    assert left[1].tobytes() == right[1].tobytes()
+                    assert left[2].tobytes() == right[2].tobytes()
+                    assert left[3] == right[3]
+
+    def test_corrupt_payload_byte_is_detected_by_crc(self, tmp_path):
+        path = self.write_reference(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF  # flip one byte inside the last record's payload
+        path.write_bytes(bytes(data))
+        records, torn = read_segment(path)
+        assert len(records) == 2
+        assert torn == 1
+
+    def test_garbage_appended_after_records_is_a_torn_tail(self, tmp_path):
+        path = self.write_reference(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(os.urandom(11))
+        records, torn = read_segment(path)
+        assert len(records) == 3
+        assert torn == 1
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = self.write_reference(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="bad magic"):
+            read_segment(path)
+
+    def test_header_name_mismatch_raises(self, tmp_path):
+        path = self.write_reference(tmp_path)
+        renamed = path.with_name("wal-000042-0000.log")
+        path.rename(renamed)
+        with pytest.raises(ValueError, match="its name says"):
+            read_segment(renamed)
+
+    def test_headerless_file_is_an_empty_torn_segment(self, tmp_path):
+        path = self.write_reference(tmp_path)
+        path.write_bytes(b"RPRO")  # crash during segment creation
+        records, torn = read_segment(path)
+        assert records == []
+        assert torn == 1
