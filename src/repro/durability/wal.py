@@ -238,17 +238,43 @@ class WriteAheadLog:
         checkpoint's state export: the rotation point is the state cut, and
         the new position is what the checkpoint manifest records as the start
         of its replay tail.
+
+        The sequence is computed from disk exactly as :meth:`open` computes
+        it — one past the highest existing sequence of the target epoch —
+        because a crash between a rotation and its checkpoint's publish can
+        orphan a segment of an epoch the store never recorded; assuming 0
+        would collide with it after recovery.  The new segment is created
+        (and durably named) *before* the previous one is closed, so a failed
+        rotation — segment collision, disk full, EMFILE — leaves the log
+        open and appendable on its previous segment.
         """
         if self._file is None:
             raise RuntimeError("write-ahead log is not open")
-        current = self._position
         self.sync()
-        self._file.close()
+        existing = [
+            position.sequence
+            for position, _ in list_segments(self.directory)
+            if position.checkpoint_id == checkpoint_id
+        ]
+        sequence = max(existing) + 1 if existing else 0
+        previous_file = self._file
+        previous_position = self._position
         self._file = None
-        sequence = 0
-        if current is not None and current.checkpoint_id == checkpoint_id:
-            sequence = current.sequence + 1
-        return self._start_segment(WalPosition(checkpoint_id, sequence))
+        try:
+            position = self._start_segment(WalPosition(checkpoint_id, sequence))
+        except BaseException:
+            if self._file is not None and self._file is not previous_file:
+                # _start_segment failed after opening the new file (e.g. the
+                # header write or fsync raised): discard the half-made file.
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+            self._file = previous_file
+            self._position = previous_position
+            raise
+        previous_file.close()
+        return position
 
     def _start_segment(self, position: WalPosition) -> WalPosition:
         path = self.directory / _segment_name(position)

@@ -35,6 +35,7 @@ import json
 import os
 import shutil
 import threading
+import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -44,9 +45,9 @@ import numpy as np
 from .core.clstm import CLSTM
 from .core.detector import AnomalyDetector
 from .core.training import CLSTMTrainer, TrainingHistory
-from .durability.checkpoints import CheckpointStore, StoredCheckpoint
+from .durability.checkpoints import CheckpointStore, DeltaSourceError, StoredCheckpoint
 from .durability.policy import CheckpointPolicy
-from .durability.wal import WalPosition, WriteAheadLog, read_tail
+from .durability.wal import WalPosition, WriteAheadLog, list_segments, read_tail
 from .features.pipeline import StreamFeatures
 from .nn.serialization import load_state, save_module, save_state
 from .serving.executor import build_executor
@@ -372,6 +373,11 @@ class Runtime:
         with self._durability_lock:
             if self._wal is not None:
                 self._wal.append([cleaned], batch=False)
+            # Invariant: past _validate_submissions, submit() must not raise —
+            # the WAL record above is already durable, and a logged-but-never-
+            # scored submission would replay into state the original run never
+            # had.  Anything that can reject a submission belongs in
+            # _validate_submissions, before the append.
             detections = self.service.submit(*cleaned)
             if self._policy is not None:
                 self._policy.note_records(1)
@@ -395,6 +401,8 @@ class Runtime:
         with self._durability_lock:
             if self._wal is not None and cleaned:
                 self._wal.append(cleaned, batch=True)
+            # Same invariant as ingest(): the tick is durable, so submit_many
+            # must not raise past validation (see _validate_submissions).
             detections = self.service.submit_many(cleaned)
             if self._policy is not None:
                 self._policy.note_records(len(cleaned))
@@ -689,13 +697,34 @@ class Runtime:
             shutil.rmtree(directory)
         directory.mkdir(parents=True)
         try:
-            self._write_checkpoint_files(
-                directory,
-                kind=kind,
-                checkpoint_id=checkpoint_id,
-                parent=parent if kind == "delta" else None,
-                wal_position=wal_position,
-            )
+            try:
+                self._write_checkpoint_files(
+                    directory,
+                    kind=kind,
+                    checkpoint_id=checkpoint_id,
+                    parent=parent if kind == "delta" else None,
+                    wal_position=wal_position,
+                )
+            except DeltaSourceError as error:
+                # The parent chain lost version files (eviction, tampering,
+                # a half-copied store).  delta_plan raises before anything is
+                # written, so compact to a self-contained full checkpoint
+                # instead of rethrowing the same error out of every future
+                # auto-checkpoint — loudly, because the chain damage itself
+                # still deserves an operator's attention.
+                warnings.warn(
+                    f"compacting to a full checkpoint: {error}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                kind = "full"
+                self._write_checkpoint_files(
+                    directory,
+                    kind="full",
+                    checkpoint_id=checkpoint_id,
+                    parent=None,
+                    wal_position=wal_position,
+                )
         except BaseException:
             shutil.rmtree(directory, ignore_errors=True)
             raise
@@ -976,6 +1005,14 @@ class Runtime:
                 epoch = int(manifest.get("checkpoint_id") or 0)
             else:
                 epoch = 0
+            # A crash between a WAL rotation and its checkpoint's publish
+            # orphans a segment of an epoch newer than any stored checkpoint,
+            # holding pre-crash records.  New appends must sort *after* those
+            # (replay order is sorted segment order), so open at the highest
+            # epoch present on disk if it exceeds the restored one.
+            on_disk = [p.checkpoint_id for p, _ in list_segments(store.wal_dir)]
+            if on_disk:
+                epoch = max(epoch, max(on_disk))
             # open() always starts a fresh segment (sequence one past the
             # highest on disk): recovery never appends to a possibly-torn
             # tail, and the new segment sorts after every replayed one.

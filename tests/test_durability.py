@@ -300,19 +300,27 @@ class TestDurableRuntime:
         restored.close()
         runtime.close()
 
-    def test_broken_chain_fails_at_write_time_naming_versions(
+    def test_broken_chain_compacts_to_full_at_write_time(
         self, durable_config, tiny_features, tmp_path
     ):
         config = durable(durable_config, tmp_path / "dur")
         runtime = Runtime.from_config(config).fit(tiny_features)
         runtime.checkpoint()
         # Sabotage the parent: the full checkpoint's weights disappear
-        # (tampering / partial restore of a backup).
+        # (tampering / partial restore of a backup).  The damage is detected
+        # at *write* time — before anything lands on disk — and the store
+        # checkpoint compacts to a self-contained full instead of wedging
+        # every future auto-checkpoint on the same DeltaSourceError.
         store = CheckpointStore(tmp_path / "dur")
         (store.directory_for(1) / "version_000001.npz").unlink()
-        with pytest.raises(DeltaSourceError, match="version 1"):
-            runtime.checkpoint()
+        with pytest.warns(RuntimeWarning, match="version 1"):
+            target = runtime.checkpoint()
+        manifest = store.manifest_of(target)
+        assert manifest["kind"] == "full"
+        assert all("source" not in entry for entry in manifest["versions"])
         runtime.close()
+        # The compacted checkpoint restores without touching the broken chain.
+        Runtime.recover(tmp_path / "dur").close()
 
     def test_broken_chain_fails_at_restore_naming_the_file(
         self, durable_config, tiny_features, tmp_path
@@ -328,6 +336,41 @@ class TestDurableRuntime:
         (store.directory_for(1) / "version_000001.npz").unlink()
         with pytest.raises(FileNotFoundError, match="version_000001.npz"):
             Runtime.from_checkpoint(delta)
+
+    def test_orphaned_rotation_epoch_survives_recovery(
+        self, durable_config, tiny_features, tmp_path, monkeypatch
+    ):
+        config = durable(durable_config, tmp_path / "dur")
+        runtime = Runtime.from_config(config).fit(tiny_features)
+        runtime.checkpoint()  # id 1: the latest the store will ever publish
+        streams = make_streams(config, segments=4)
+        feed(runtime, streams, stop=2)
+
+        # A checkpoint that fails *after* its WAL rotation orphans segment
+        # (2, 0): the rotation landed durably but checkpoint 2 never
+        # published, so the store's latest stays at 1.
+        def boom(self, directory, **kwargs):
+            raise OSError("simulated export failure")
+
+        monkeypatch.setattr(Runtime, "_write_checkpoint_files", boom)
+        with pytest.raises(OSError, match="simulated"):
+            runtime.checkpoint()
+        monkeypatch.undo()
+        feed(runtime, streams, start=2, stop=4)  # pre-crash records in (2, 0)
+        runtime.close()
+
+        recovered = Runtime.recover(tmp_path / "dur")
+        # Post-recovery appends must sort *after* the orphan's records (replay
+        # order is sorted segment order), so the WAL reopens at the highest
+        # epoch on disk — not the restored checkpoint's epoch (1, ...).
+        assert recovered.durability_stats()["wal"]["position"] == [2, 1]
+        assert recovered.durability_stats()["replayed_records"] == 8
+        # The next store checkpoint re-allocates id 2; its rotation must step
+        # past the orphaned wal-2-0000 instead of colliding with it.
+        recovered.checkpoint()
+        assert recovered.durability_stats()["wal"]["position"] == [2, 2]
+        recovered.close()
+        Runtime.recover(tmp_path / "dur").close()
 
     def test_invalid_submissions_never_reach_the_wal(
         self, durable_config, tiny_features, tmp_path

@@ -123,6 +123,48 @@ class TestWriter:
         assert tail.segments == 2
         assert tail.submissions == 1  # the epoch-0 record is before the cut
 
+    def test_rotate_skips_orphaned_segments_of_the_target_epoch(self, tmp_path):
+        # A crash between rotate(N) and checkpoint N's publish orphans
+        # wal-N-0000 while the store's latest checkpoint stays at M; after
+        # recovery the next checkpoint re-allocates id N, and rotate(N) must
+        # not collide with the orphan — the sequence comes from disk, exactly
+        # as open() computes it.
+        rng = np.random.default_rng(11)
+        wal = WriteAheadLog(tmp_path)
+        wal.open(1)
+        orphan = WriteAheadLog(tmp_path)
+        assert orphan.open(2) == WalPosition(2, 0)
+        orphan.close()
+        wal.append([make_submission(rng)], batch=False)
+        assert wal.rotate(2) == WalPosition(2, 1)
+        wal.append([make_submission(rng)], batch=False)
+        wal.close()
+        tail = read_tail(tmp_path, WalPosition(2, 1))
+        assert tail.submissions == 1
+
+    def test_failed_rotation_leaves_the_log_appendable(self, tmp_path, monkeypatch):
+        rng = np.random.default_rng(12)
+        wal = WriteAheadLog(tmp_path)
+        position = wal.open(0)
+        wal.append([make_submission(rng)], batch=False)
+
+        def boom(self, pos):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(WriteAheadLog, "_start_segment", boom)
+        with pytest.raises(OSError):
+            wal.rotate(1)
+        monkeypatch.undo()
+        # The failed rotation must not brick durable ingest: the previous
+        # segment stays open and appendable.
+        assert wal.is_open
+        assert wal.position == position
+        wal.append([make_submission(rng)], batch=False)
+        wal.close()
+        tail = read_tail(tmp_path, WalPosition(0, 0))
+        assert tail.submissions == 2
+        assert tail.torn_records == 0
+
     def test_prune_removes_segments_before_position(self, tmp_path):
         rng = np.random.default_rng(5)
         wal = WriteAheadLog(tmp_path)
