@@ -43,12 +43,21 @@ from .core import (
 )
 from .features import FeaturePipeline, StreamFeatures, SimulatedI3DExtractor
 from .streams import (
+    ProfilePerturbation,
     SocialStreamGenerator,
     SocialVideoStream,
     StreamProfile,
     dataset_profile,
     load_all_datasets,
     load_dataset,
+)
+from .scenarios import (
+    ScenarioConfig,
+    ScenarioLeaderboard,
+    drive_runtime,
+    generate_scenario,
+    run_scenario_suite,
+    standard_suite,
 )
 from .baselines import LTRDetector, RTFMDetector, VECDetector, all_detectors
 from .optimization import FilteredDetector, ADOSFilter
@@ -109,12 +118,19 @@ __all__ = [
     "FeaturePipeline",
     "StreamFeatures",
     "SimulatedI3DExtractor",
+    "ProfilePerturbation",
     "SocialStreamGenerator",
     "SocialVideoStream",
     "StreamProfile",
     "dataset_profile",
     "load_all_datasets",
     "load_dataset",
+    "ScenarioConfig",
+    "ScenarioLeaderboard",
+    "standard_suite",
+    "generate_scenario",
+    "run_scenario_suite",
+    "drive_runtime",
     "LTRDetector",
     "RTFMDetector",
     "VECDetector",

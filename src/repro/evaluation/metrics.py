@@ -26,11 +26,33 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RocCurve:
-    """A receiver operating characteristic curve."""
+    """A receiver operating characteristic curve.
+
+    ``fpr`` must be sorted ascending — :meth:`tpr_at_fpr` interpolates with
+    :func:`np.interp`, which silently returns garbage on unsorted abscissae.
+    Construction validates the invariant and re-sorts the three arrays
+    together (by ``fpr``, then ``tpr``) when it does not hold.
+    """
 
     fpr: np.ndarray
     tpr: np.ndarray
     thresholds: np.ndarray
+
+    def __post_init__(self) -> None:
+        fpr = np.asarray(self.fpr, dtype=np.float64)
+        tpr = np.asarray(self.tpr, dtype=np.float64)
+        thresholds = np.asarray(self.thresholds, dtype=np.float64)
+        if not (fpr.shape == tpr.shape == thresholds.shape):
+            raise ValueError(
+                f"fpr, tpr and thresholds must align, got {fpr.shape}, "
+                f"{tpr.shape}, {thresholds.shape}"
+            )
+        if fpr.size and np.any(np.diff(fpr) < 0):
+            order = np.lexsort((tpr, fpr))
+            fpr, tpr, thresholds = fpr[order], tpr[order], thresholds[order]
+        object.__setattr__(self, "fpr", fpr)
+        object.__setattr__(self, "tpr", tpr)
+        object.__setattr__(self, "thresholds", thresholds)
 
     def area(self) -> float:
         """Area under the curve via the trapezoid rule."""

@@ -20,13 +20,23 @@ def format_percentage(value: float, decimals: int = 2) -> str:
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None) -> str:
-    """Render rows as an aligned, pipe-separated text table."""
+    """Render rows as an aligned, pipe-separated text table.
+
+    Every row must have at most ``len(headers)`` cells; a wider row raises a
+    :class:`ValueError` naming the offending row instead of failing later
+    with an opaque ``IndexError`` during alignment.  Shorter rows are fine
+    (missing cells simply render empty).
+    """
     rendered_rows = [[str(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
-    for row in rendered_rows:
+    for row_index, row in enumerate(rendered_rows):
+        if len(row) > len(widths):
+            raise ValueError(
+                f"row {row_index} has {len(row)} cells but the table has "
+                f"{len(widths)} headers: {row!r}"
+            )
         for index, cell in enumerate(row):
-            if index < len(widths):
-                widths[index] = max(widths[index], len(cell))
+            widths[index] = max(widths[index], len(cell))
 
     def render_line(cells: Sequence[str]) -> str:
         return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))

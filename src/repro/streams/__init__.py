@@ -8,7 +8,7 @@ presets used throughout the evaluation.
 from .events import Comment, VideoSegment, SocialVideoStream
 from .actions import ActionState, InfluencerBehaviourModel
 from .comments import AudienceModel, CommentTextGenerator
-from .generator import StreamProfile, SocialStreamGenerator
+from .generator import StreamProfile, ProfilePerturbation, SocialStreamGenerator
 from .datasets import (
     DATASET_NAMES,
     DatasetSpec,
@@ -26,6 +26,7 @@ __all__ = [
     "AudienceModel",
     "CommentTextGenerator",
     "StreamProfile",
+    "ProfilePerturbation",
     "SocialStreamGenerator",
     "DATASET_NAMES",
     "DatasetSpec",

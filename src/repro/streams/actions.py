@@ -183,7 +183,7 @@ class InfluencerBehaviourModel:
         self._anomaly_seconds_left = 0.0
         self._distractor_seconds_left = 0.0
 
-    def step(self, audience_pressure: float = 0.0) -> ActionState:
+    def step(self, audience_pressure: float = 0.0, anomaly_rate_scale: float = 1.0) -> ActionState:
         """Advance the behaviour process by one second.
 
         Parameters
@@ -193,7 +193,14 @@ class InfluencerBehaviourModel:
             during the previous second.  With two-way coupling a high value
             makes a state switch more likely (the influencer adapts to the
             chat), mirroring Fig. 3(b) of the paper.
+        anomaly_rate_scale:
+            Multiplier on the per-second anomaly start probability for this
+            step.  Scenario schedules use it to suppress (``0.0``, e.g. the
+            label-free prefix of a cold start) or concentrate anomalous
+            actions in parts of a stream; ``1.0`` is the profile behaviour.
         """
+        if anomaly_rate_scale < 0:
+            raise ValueError("anomaly_rate_scale must be non-negative")
         audience_pressure = float(np.clip(audience_pressure, 0.0, 1.0))
         if self._anomaly_seconds_left > 0:
             self._anomaly_seconds_left -= 1.0
@@ -206,7 +213,7 @@ class InfluencerBehaviourModel:
                 self._current = self._pick_normal_state()
             return self._current
 
-        if self._rng.random() < self.anomaly_rate:
+        if self._rng.random() < min(1.0, self.anomaly_rate * anomaly_rate_scale):
             self._current = self.anomalous_states[self._rng.integers(len(self.anomalous_states))]
             self._anomaly_seconds_left = max(1.0, self._rng.exponential(self.anomaly_duration))
             return self._current
@@ -229,6 +236,62 @@ class InfluencerBehaviourModel:
         if self._rng.random() < switch_probability:
             self._current = self._pick_normal_state()
         return self._current
+
+    def force_anomaly(self, duration_seconds: float) -> ActionState:
+        """Start an anomalous (attractive) action right now, deterministically.
+
+        Scenario schedules use this to place a sustained burst at a known
+        stream time (e.g. after a deliberately quiet prefix) instead of
+        waiting for the Markov process to draw one.  The action runs for
+        ``duration_seconds`` seconds unless a later :meth:`step` ends it.
+        """
+        if duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        self._current = self.anomalous_states[self._rng.integers(len(self.anomalous_states))]
+        self._anomaly_seconds_left = float(duration_seconds)
+        self._distractor_seconds_left = 0.0
+        return self._current
+
+    def shift_regime(self) -> None:
+        """Redraw every state's motion signature (a regime switch).
+
+        Models a persistent change of presentation style mid-stream — new
+        camera setup, new game, new show format.  Fresh signatures are drawn
+        from the signature generator, so the post-switch visual distribution
+        is decorrelated from the one any detector trained on; attractiveness
+        levels and state names are redrawn with them.  Segments already
+        emitted keep the old signatures (states are immutable snapshots).
+        """
+        concentration = 0.5
+        self.normal_states = [
+            ActionState(
+                name=f"regime_{i}",
+                signature=self._draw_signature(concentration),
+                attractiveness=float(self._signature_rng.uniform(0.05, 0.25)),
+            )
+            for i in range(len(self.normal_states))
+        ]
+        self.anomalous_states = [
+            ActionState(
+                name=f"regime_attractive_{i}",
+                signature=self._blend_signature(concentration),
+                attractiveness=float(self._signature_rng.uniform(0.7, 1.0)),
+                is_anomalous=True,
+            )
+            for i in range(len(self.anomalous_states))
+        ]
+        self.distractor_states = [
+            ActionState(
+                name=f"regime_distractor_{i}",
+                signature=self._blend_signature(concentration, shift_scale=0.6),
+                attractiveness=float(self._signature_rng.uniform(0.05, 0.2)),
+            )
+            for i in range(len(self.distractor_states))
+        ]
+        self.responsive_state = self.normal_states[-1]
+        self._current = self.normal_states[0]
+        self._anomaly_seconds_left = 0.0
+        self._distractor_seconds_left = 0.0
 
     def motion_frames(self, state: ActionState, frames: int, noise: float = 0.05) -> np.ndarray:
         """Per-frame motion content for ``frames`` frames of ``state``.

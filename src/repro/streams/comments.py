@@ -90,6 +90,25 @@ class CommentTextGenerator:
         text = pool[self._rng.integers(len(pool))]
         return text, sentiment
 
+    def generate_directed(self, sentiment: float) -> tuple[str, float]:
+        """Draw one comment from the pool matching a target sentiment.
+
+        Scenario injections (flash crowds, coordinated raids) need comments
+        with a *chosen* polarity rather than the excitement-driven mixture:
+        a raid floods negative lines, a flash crowd mostly positive ones.
+        ``sentiment`` above ``0.3`` selects the positive pool, below ``-0.3``
+        the negative pool, anything between the neutral pool; the latent
+        sentiment of the chosen pool is returned alongside the text.
+        """
+        if sentiment > 0.3:
+            pool, latent = self.POSITIVE, 0.8
+        elif sentiment < -0.3:
+            pool, latent = self.NEGATIVE, -0.6
+        else:
+            pool, latent = self.NEUTRAL, 0.0
+        text = pool[self._rng.integers(len(pool))]
+        return text, latent
+
 
 @dataclass
 class _ExcitementState:

@@ -23,16 +23,16 @@ audience reaction).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..utils.config import StreamProtocol
 from .actions import InfluencerBehaviourModel
-from .comments import AudienceModel
+from .comments import AudienceModel, CommentTextGenerator
 from .events import Comment, SocialVideoStream, VideoSegment
 
-__all__ = ["StreamProfile", "SocialStreamGenerator"]
+__all__ = ["StreamProfile", "ProfilePerturbation", "SocialStreamGenerator"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,13 @@ class StreamProfile:
     """A segment only counts as an anomaly when its comment rate exceeds this
     multiple of the running baseline (Definition 1 requires the reaction)."""
 
+    baseline_window_seconds: float = 60.0
+    """Length of the trailing window used for the running comment-rate
+    baseline that ``burst_label_threshold`` is compared against.  The
+    baseline is *causal*: only seconds strictly before the segment window
+    contribute, and seconds inside (or shortly after) injected anomalies are
+    excluded so a sustained burst cannot inflate its own baseline."""
+
     anomaly_visual_shift: float = 0.35
     """Visual distinctiveness of anomalous actions (see InfluencerBehaviourModel)."""
 
@@ -74,6 +81,82 @@ class StreamProfile:
 
     distractor_duration: float = 4.0
     """Mean duration (seconds) of distractor actions."""
+
+
+@dataclass(frozen=True)
+class ProfilePerturbation:
+    """One scheduled disturbance applied to a window of the simulated stream.
+
+    Perturbations are the building blocks of the adversarial scenario suite
+    (:mod:`repro.scenarios`): a flash crowd is a ramped comment-rate
+    multiplier, a coordinated raid adds a burst of negative comments, a
+    regime switch redraws the influencer's behaviour signatures, and so on.
+    They are applied on top of the base :class:`StreamProfile` dynamics
+    during ``[start_second, end_second)``.
+
+    All injected-comment randomness comes from a dedicated injection RNG
+    derived from the stream seed, never from the main simulation RNG —
+    so a stream with perturbations is *bitwise identical* to the
+    unperturbed stream outside the perturbed windows (prefix invariance),
+    and an empty schedule reproduces the unperturbed stream exactly.
+    """
+
+    start_second: float
+    end_second: float
+    ramp: str = "step"
+    """Intensity envelope inside the window: ``"step"`` (full strength
+    immediately) or ``"linear"`` (ramps 0 -> 1 across the window)."""
+
+    comment_rate_add: float = 0.0
+    """Extra injected comments per second at full strength (flash crowd / raid)."""
+
+    comment_rate_multiplier: float = 1.0
+    """Multiplier on the injected comment count (compounds with ``comment_rate_add``)."""
+
+    heavy_tail_alpha: Optional[float] = None
+    """When set, injected counts are drawn from a Pareto(alpha) scaled by the
+    injection rate instead of a Poisson — modelling heavy-tailed fan-in."""
+
+    injected_sentiment: float = 0.5
+    """Target sentiment of injected comments (raids use negative values)."""
+
+    anomaly_rate_multiplier: float = 1.0
+    """Scales the influencer's per-second anomaly probability inside the window."""
+
+    force_anomaly: bool = False
+    """Deterministically start an attractive action at the window start."""
+
+    regime_shift: bool = False
+    """Redraw all behaviour-state signatures at the window start (regime switch)."""
+
+    def __post_init__(self) -> None:
+        if self.start_second < 0:
+            raise ValueError("start_second must be non-negative")
+        if self.end_second <= self.start_second:
+            raise ValueError("end_second must be greater than start_second")
+        if self.ramp not in ("step", "linear"):
+            raise ValueError("ramp must be 'step' or 'linear'")
+        if self.comment_rate_add < 0:
+            raise ValueError("comment_rate_add must be non-negative")
+        if self.comment_rate_multiplier < 0:
+            raise ValueError("comment_rate_multiplier must be non-negative")
+        if self.heavy_tail_alpha is not None and self.heavy_tail_alpha <= 0:
+            raise ValueError("heavy_tail_alpha must be positive")
+        if self.anomaly_rate_multiplier < 0:
+            raise ValueError("anomaly_rate_multiplier must be non-negative")
+
+    def active(self, second: int) -> bool:
+        """Whether this perturbation covers the given one-second slot."""
+        return self.start_second <= second < self.end_second
+
+    def strength(self, second: int) -> float:
+        """Envelope value in [0, 1] for the given second."""
+        if not self.active(second):
+            return 0.0
+        if self.ramp == "step":
+            return 1.0
+        span = self.end_second - self.start_second
+        return float((second - self.start_second) / span)
 
 
 class SocialStreamGenerator:
@@ -92,7 +175,13 @@ class SocialStreamGenerator:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def generate(self, duration_seconds: float, name: Optional[str] = None, seed: Optional[int] = None) -> SocialVideoStream:
+    def generate(
+        self,
+        duration_seconds: float,
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+        perturbations: Sequence[ProfilePerturbation] = (),
+    ) -> SocialVideoStream:
         """Generate a stream of the requested duration.
 
         Parameters
@@ -104,6 +193,12 @@ class SocialStreamGenerator:
         seed:
             Optional override of the generator seed (used to create multiple
             independent streams from the same profile).
+        perturbations:
+            Optional schedule of :class:`ProfilePerturbation` windows applied
+            on top of the base profile dynamics.  Injection randomness uses a
+            dedicated RNG derived from the stream seed, so the stream is
+            bitwise identical to the unperturbed one outside the perturbed
+            windows, and an empty schedule reproduces it exactly.
         """
         protocol = self.protocol
         seconds = int(duration_seconds)
@@ -112,7 +207,13 @@ class SocialStreamGenerator:
             raise ValueError(
                 f"duration must cover at least one segment ({min_seconds}s), got {duration_seconds}"
             )
-        rng = np.random.default_rng(self.seed if seed is None else seed)
+        actual_seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(actual_seed)
+        # Injected comments draw from their own RNG stream so perturbations
+        # never advance the main simulation RNG (prefix invariance).
+        injection_rng = np.random.default_rng([actual_seed, 0x5CE7A810])
+        injection_text = CommentTextGenerator(injection_rng)
+        perturbations = tuple(perturbations)
         influencer = InfluencerBehaviourModel(
             motion_channels=self.profile.motion_channels,
             normal_states=self.profile.normal_states,
@@ -145,9 +246,29 @@ class SocialStreamGenerator:
         comments: List[Comment] = []
 
         audience_pressure = 0.0
+        fired: set = set()
         for second in range(seconds):
-            state = influencer.step(audience_pressure=audience_pressure)
+            active = [p for p in perturbations if p.active(second)]
+            anomaly_scale = 1.0
+            for perturbation in active:
+                anomaly_scale *= perturbation.anomaly_rate_multiplier
+                if id(perturbation) not in fired:
+                    fired.add(id(perturbation))
+                    if perturbation.regime_shift:
+                        influencer.shift_regime()
+                    if perturbation.force_anomaly:
+                        influencer.force_anomaly(self.profile.anomaly_duration)
+            state = influencer.step(
+                audience_pressure=audience_pressure,
+                anomaly_rate_scale=anomaly_scale,
+            )
             count, second_comments = audience.step(state.attractiveness, second)
+            for perturbation in active:
+                injected = self._injected_comments(
+                    perturbation, second, injection_rng, injection_text
+                )
+                count += len(injected)
+                second_comments = second_comments + injected
             per_second_states.append(state)
             per_second_attractiveness[second] = state.attractiveness
             per_second_anomalous[second] = state.is_anomalous
@@ -195,6 +316,37 @@ class SocialStreamGenerator:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _injected_comments(
+        self,
+        perturbation: ProfilePerturbation,
+        second: int,
+        rng: np.random.Generator,
+        text_generator: CommentTextGenerator,
+    ) -> List[Comment]:
+        """Draw the extra comments a perturbation injects into one second."""
+        strength = perturbation.strength(second)
+        rate = (
+            perturbation.comment_rate_add
+            * perturbation.comment_rate_multiplier
+            * strength
+        )
+        if rate <= 0:
+            return []
+        if perturbation.heavy_tail_alpha is not None:
+            # Pareto-distributed burst sizes: most seconds get a trickle, a
+            # few get enormous spikes (heavy-tailed stream fan-in).
+            count = int(rate * (1.0 + rng.pareto(perturbation.heavy_tail_alpha)))
+        else:
+            count = int(rng.poisson(rate))
+        injected: List[Comment] = []
+        for _ in range(count):
+            text, sentiment = text_generator.generate_directed(
+                perturbation.injected_sentiment
+            )
+            timestamp = second + float(rng.random())
+            injected.append(Comment(timestamp=timestamp, text=text, sentiment=sentiment))
+        return injected
+
     def _build_segments(
         self,
         influencer: InfluencerBehaviourModel,
@@ -212,8 +364,31 @@ class SocialStreamGenerator:
         total_frames = seconds * frame_rate
 
         # Baseline comment rate used to decide whether the audience actually
-        # reacted to an attractive action (Definition 1).
-        baseline = max(float(np.mean(comment_counts)), 1e-6)
+        # reacted to an attractive action (Definition 1).  The baseline is a
+        # *causal* trailing-window mean: only seconds strictly before the
+        # segment window contribute, and seconds inside injected anomalies
+        # (plus the delayed reaction tail) are excluded, so labels never
+        # depend on future data and sustained bursts cannot suppress their
+        # own labels by inflating a whole-stream mean.
+        reaction_tail = self.profile.reaction_delay + 2
+        excluded = per_second_anomalous.copy()
+        for offset in range(1, reaction_tail + 1):
+            if offset < seconds:
+                excluded[offset:] |= per_second_anomalous[:-offset]
+        baseline_window = max(int(round(self.profile.baseline_window_seconds)), 1)
+        fallback_baseline = max(
+            self.profile.interactivity * self.profile.base_comment_rate, 1e-6
+        )
+
+        def causal_baseline(window_start_second: int) -> float:
+            lo = max(0, window_start_second - baseline_window)
+            hi = window_start_second
+            if hi <= lo:
+                return fallback_baseline
+            usable = ~excluded[lo:hi]
+            if not usable.any():
+                return fallback_baseline
+            return max(float(comment_counts[lo:hi][usable].mean()), 1e-6)
 
         segments: List[VideoSegment] = []
         index = 0
@@ -245,8 +420,9 @@ class SocialStreamGenerator:
             # inside the window is compared with the stream's baseline rate —
             # Definition 1 requires the action to actually draw a reaction.
             lo = int(start_time)
-            hi = min(seconds, int(np.ceil(end_time)) + self.profile.reaction_delay + 2)
+            hi = min(seconds, int(np.ceil(end_time)) + reaction_tail)
             reaction_rate = float(comment_counts[lo:hi].max()) if hi > lo else 0.0
+            baseline = causal_baseline(lo)
             audience_reacted = reaction_rate >= self.profile.burst_label_threshold * baseline
             is_anomaly = overlaps_anomaly and audience_reacted
 

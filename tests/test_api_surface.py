@@ -44,12 +44,15 @@ EXPECTED_REPRO_ALL = sorted(
         "ModelSnapshot",
         "ParallelExecutor",
         "ProcessParallelExecutor",
+        "ProfilePerturbation",
         "PrometheusRenderer",
         "RTFMDetector",
         "RebalanceDecision",
         "Rebalancer",
         "Runtime",
         "RuntimeConfig",
+        "ScenarioConfig",
+        "ScenarioLeaderboard",
         "ScoredStream",
         "ScoringService",
         "SerialExecutor",
@@ -73,6 +76,8 @@ EXPECTED_REPRO_ALL = sorted(
         "all_detectors",
         "auroc",
         "dataset_profile",
+        "drive_runtime",
+        "generate_scenario",
         "load_all_datasets",
         "load_dataset",
         "reia_score",
@@ -80,6 +85,8 @@ EXPECTED_REPRO_ALL = sorted(
         "render_server_metrics",
         "replay_streams",
         "roc_curve",
+        "run_scenario_suite",
+        "standard_suite",
         "__version__",
     ]
 )

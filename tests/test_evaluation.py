@@ -4,8 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.evaluation import (
+    RocCurve,
     ExperimentHarness,
     ExperimentScale,
     auroc,
@@ -95,6 +98,37 @@ class TestMetrics:
         assert false_positive_rate([1, 1], [False, True]) == 0.0
         assert precision_recall_f1([0], [False])["f1"] == 0.0
 
+    def test_roc_curve_sorts_unsorted_fpr(self):
+        # Construct a RocCurve with deliberately shuffled points: the
+        # constructor must restore ascending fpr so np.interp is valid.
+        curve = RocCurve(
+            fpr=np.array([1.0, 0.0, 0.5]),
+            tpr=np.array([1.0, 0.0, 0.8]),
+            thresholds=np.array([-np.inf, np.inf, 0.5]),
+        )
+        assert np.all(np.diff(curve.fpr) >= 0)
+        assert curve.tpr_at_fpr(0.25) == pytest.approx(0.4)
+
+    def test_roc_curve_rejects_misaligned_arrays(self):
+        with pytest.raises(ValueError):
+            RocCurve(fpr=np.zeros(3), tpr=np.zeros(2), thresholds=np.zeros(3))
+
+    @given(st.lists(st.floats(0.0, 1.0, width=32), min_size=4, max_size=60), st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_tpr_at_fpr_invariant_to_score_order(self, raw_scores, shuffler):
+        # Half positives, half negatives, in shuffled presentation order: the
+        # interpolated TPR@FPR must not depend on the order of the inputs.
+        labels = [i % 2 for i in range(len(raw_scores))]
+        paired = list(zip(labels, raw_scores))
+        reference = roc_curve(labels, raw_scores)
+        shuffler.shuffle(paired)
+        shuffled = roc_curve([l for l, _ in paired], [s for _, s in paired])
+        assert np.all(np.diff(shuffled.fpr) >= 0)
+        for target in (0.0, 0.1, 0.37, 0.5, 0.9, 1.0):
+            assert shuffled.tpr_at_fpr(target) == pytest.approx(
+                reference.tpr_at_fpr(target)
+            )
+
 
 class TestReporting:
     def test_format_percentage(self):
@@ -107,6 +141,14 @@ class TestReporting:
         assert lines[0] == "Demo"
         assert "name" in lines[1] and "value" in lines[1]
         assert len(lines) == 5
+
+    def test_format_table_rejects_overflowing_rows(self):
+        with pytest.raises(ValueError, match="row 1 has 3 cells"):
+            format_table(["a", "b"], [["x", "y"], ["1", "2", "3"]])
+
+    def test_format_table_pads_short_rows(self):
+        table = format_table(["a", "b", "c"], [["only"]])
+        assert "only" in table.splitlines()[-1]
 
     def test_format_named_series(self):
         series = {"CLSTM": {"INF": 0.98, "SPE": 0.86}, "LTR": {"INF": 0.66}}

@@ -11,6 +11,7 @@ from repro.streams import (
     CommentTextGenerator,
     DATASET_NAMES,
     InfluencerBehaviourModel,
+    ProfilePerturbation,
     SocialStreamGenerator,
     SocialVideoStream,
     StreamProfile,
@@ -240,3 +241,142 @@ class TestDatasets:
     def test_load_all_datasets(self):
         specs = load_all_datasets(base_train_seconds=100, base_test_seconds=80, seed=2)
         assert set(specs) == set(DATASET_NAMES)
+
+
+class TestProfilePerturbation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfilePerturbation(start_second=10, end_second=5)
+        with pytest.raises(ValueError):
+            ProfilePerturbation(start_second=0, end_second=10, ramp="cubic")
+        with pytest.raises(ValueError):
+            ProfilePerturbation(start_second=0, end_second=10, comment_rate_add=-1.0)
+        with pytest.raises(ValueError):
+            ProfilePerturbation(start_second=0, end_second=10, comment_rate_multiplier=-0.5)
+        with pytest.raises(ValueError):
+            ProfilePerturbation(start_second=0, end_second=10, heavy_tail_alpha=0.0)
+        with pytest.raises(ValueError):
+            ProfilePerturbation(start_second=0, end_second=10, anomaly_rate_multiplier=-0.5)
+
+    def test_active_and_strength(self):
+        step = ProfilePerturbation(start_second=10, end_second=20, ramp="step")
+        assert not step.active(9) and step.active(10) and step.active(19)
+        assert not step.active(20)
+        assert step.strength(15) == 1.0
+
+        linear = ProfilePerturbation(start_second=10, end_second=20, ramp="linear")
+        assert linear.strength(10) == 0.0
+        assert linear.strength(15) == pytest.approx(0.5)
+
+    def test_empty_schedule_is_bitwise_identical(self):
+        profile = StreamProfile(name="T", motion_channels=8, anomaly_rate=0.02)
+        plain = SocialStreamGenerator(profile, seed=11).generate(120, seed=11)
+        scheduled = SocialStreamGenerator(profile, seed=11).generate(
+            120, seed=11, perturbations=()
+        )
+        assert np.array_equal(plain.comment_counts, scheduled.comment_counts)
+        for a, b in zip(plain.segments, scheduled.segments):
+            assert np.array_equal(a.motion_content, b.motion_content)
+            assert a.is_anomaly == b.is_anomaly
+
+    def test_injection_leaves_unperturbed_seconds_untouched(self):
+        """The perturbation RNG is independent of the main stream RNG, so the
+        seconds before the perturbation window are bitwise identical."""
+        profile = StreamProfile(name="T", motion_channels=8, anomaly_rate=0.02)
+        plain = SocialStreamGenerator(profile, seed=11).generate(150, seed=11)
+        burst = ProfilePerturbation(
+            start_second=100, end_second=140, ramp="step", comment_rate_add=25.0
+        )
+        perturbed = SocialStreamGenerator(profile, seed=11).generate(
+            150, seed=11, perturbations=(burst,)
+        )
+        assert np.array_equal(plain.comment_counts[:100], perturbed.comment_counts[:100])
+        assert perturbed.comment_counts[100:140].sum() > plain.comment_counts[100:140].sum()
+
+
+class TestCausalBaseline:
+    """Regression tests for the lookahead-label bug: the burst-label baseline
+    must be a causal trailing-window mean, never a whole-stream mean."""
+
+    def test_labels_invariant_to_appended_flash_crowd(self):
+        """Appending a future flash crowd must not change earlier labels.
+
+        Under the old global-mean baseline the appended burst inflated the
+        whole-stream mean, deflating the reaction ratio of earlier segments
+        and silently flipping their labels.
+        """
+        profile = StreamProfile(
+            name="T", motion_channels=8, anomaly_rate=0.02, reaction_delay=1
+        )
+        short = SocialStreamGenerator(profile, seed=11).generate(150, seed=11)
+        crowd = ProfilePerturbation(
+            start_second=180, end_second=220, ramp="linear", comment_rate_add=40.0
+        )
+        long = SocialStreamGenerator(profile, seed=11).generate(
+            250, seed=11, perturbations=(crowd,)
+        )
+        assert np.array_equal(short.comment_counts, long.comment_counts[:150])
+
+        reaction_tail = profile.reaction_delay + 2
+        safe = [
+            s.index
+            for s in short.segments
+            if int(np.ceil(s.end_time)) + reaction_tail <= 150
+        ]
+        assert safe, "there must be segments fully inside the shared prefix"
+        short_labels = [short.segments[i].is_anomaly for i in safe]
+        long_labels = [long.segments[i].is_anomaly for i in safe]
+        assert short_labels == long_labels
+        assert any(short_labels), "prefix must contain anomalous segments"
+
+        # Sanity: the old whole-stream mean genuinely differs between the two
+        # streams, so this test fails under the pre-fix labelling.
+        assert abs(
+            float(np.mean(short.comment_counts)) - float(np.mean(long.comment_counts))
+        ) > 1.0
+
+    def test_sustained_burst_after_quiet_prefix_stays_anomalous(self):
+        """A long elevated episode must stay labelled anomalous: the causal
+        baseline reflects the quiet prefix (and excludes anomalous seconds),
+        so the reaction ratio stays high through the whole burst."""
+        profile = StreamProfile(
+            name="Q", motion_channels=8, anomaly_rate=0.0, reaction_delay=1
+        )
+        burst = ProfilePerturbation(
+            start_second=70,
+            end_second=150,
+            ramp="step",
+            comment_rate_add=12.0,
+            force_anomaly=True,
+        )
+        stream = SocialStreamGenerator(profile, seed=5).generate(
+            150, seed=5, perturbations=(burst,)
+        )
+        onset_segments = [
+            s for s in stream.segments if 70 <= s.start_time <= 90
+        ]
+        assert onset_segments
+        anomalous = [s for s in onset_segments if s.is_anomaly]
+        # The forced attractive action at the burst onset must be labelled:
+        # the causal baseline still reflects the quiet prefix, so the burst's
+        # reaction ratio clears the threshold.  Under a whole-stream mean the
+        # sustained burst would inflate the baseline against itself.
+        assert len(anomalous) >= 3
+        global_mean = float(np.mean(stream.comment_counts))
+        quiet_mean = float(np.mean(stream.comment_counts[:70]))
+        assert global_mean > 2 * quiet_mean
+
+    def test_baseline_window_bounds_lookback(self):
+        """A tiny baseline window adapts quickly: the post-burst baseline
+        reflects the recent burst rather than the distant quiet prefix."""
+        quick = StreamProfile(
+            name="W",
+            motion_channels=8,
+            anomaly_rate=0.0,
+            reaction_delay=1,
+            baseline_window_seconds=10.0,
+        )
+        assert quick.baseline_window_seconds == 10.0
+        generator = SocialStreamGenerator(quick, seed=3)
+        stream = generator.generate(60, seed=3)
+        assert stream.num_segments > 0
